@@ -1,0 +1,37 @@
+"""Shared infrastructure for the figure/table regeneration benches.
+
+Every bench runs one paper exhibit at full scale (all 26 benchmarks,
+``REPRO_BENCH_N`` instructions per run — default 30000), prints the
+paper-style rows, and saves them under ``benchmarks/out/`` for
+EXPERIMENTS.md.  Sweeps are memoised process-wide, so the exhibits that
+share the Figure 4 grid pay for it once.
+
+Run with ``pytest benchmarks/ --benchmark-only`` (add ``-s`` to watch the
+tables stream by).  ``REPRO_BENCH_N=8000`` gives a quick pass.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+#: Trace length per simulation in the benches.
+BENCH_N = int(os.environ.get("REPRO_BENCH_N", "30000"))
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+def record(result) -> str:
+    """Print and persist one exhibit's rendered rows; return the text."""
+    OUT_DIR.mkdir(exist_ok=True)
+    text = result.render()
+    slug = result.exhibit.lower().replace(" ", "_")
+    (OUT_DIR / f"{slug}.txt").write_text(text + "\n")
+    print()
+    print(text)
+    return text
+
+
+@pytest.fixture(scope="session")
+def bench_n():
+    return BENCH_N

@@ -1,0 +1,37 @@
+"""Figure 4 — the headline comparison: average speedup of all mechanisms.
+
+Paper: GHB (2004) best, then SP (1992); TK strong; the venerable TP
+performs "quite well"; FVC disappoints under IPC; CDP poor on average; the
+1982-2004 trend is strikingly irregular.  Shape targets checked here: a
+stride prefetcher (GHB/SP/TP family) on top, GHB in the top two, CDP and
+Markov in the bottom half, and old mechanisms interleaved with new ones
+(the irregular-progress observation).
+"""
+
+from conftest import record
+
+from repro.harness import fig4_speedup
+
+
+def test_fig4_speedup(benchmark, bench_n):
+    result = benchmark.pedantic(
+        lambda: fig4_speedup(n_instructions=bench_n),
+        rounds=1, iterations=1,
+    )
+    record(result)
+    order = [row["mechanism"] for row in result.rows]
+    speedups = {row["mechanism"]: row["mean_speedup"] for row in result.rows}
+
+    assert order[0] in ("GHB", "TP", "SP")
+    assert order.index("GHB") <= 2
+    # Prefetchers that track strides clearly beat the baseline.
+    for name in ("GHB", "SP", "TP"):
+        assert speedups[name] > 1.03
+    # CDP and Markov sit in the bottom half, as in the paper.
+    assert order.index("Markov") > len(order) // 2 - 1
+    # Progress is irregular: at least one pre-1995 mechanism out-ranks at
+    # least one post-2000 mechanism.
+    years = {row["mechanism"]: row["year"] for row in result.rows}
+    old_best = min(order.index(m) for m in order if 0 < years[m] <= 1995)
+    new_worst = max(order.index(m) for m in order if years[m] >= 2000)
+    assert old_best < new_worst

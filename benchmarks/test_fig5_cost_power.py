@@ -1,0 +1,32 @@
+"""Figure 5 — power and cost (area) ratios per mechanism.
+
+Paper: Markov and DBCP are enormous (megabyte-scale tables); TP, SP and
+GHB add almost no area; GHB is nevertheless power-hungry (repeated table
+walks, up to 4 requests per miss) while SP stays as efficient as TP; when
+all three axes are combined, SP looks like the overall winner.
+"""
+
+from conftest import record
+
+from repro.harness import fig5_cost_power
+
+
+def test_fig5_cost_power(benchmark, bench_n):
+    result = benchmark.pedantic(
+        lambda: fig5_cost_power(n_instructions=bench_n),
+        rounds=1, iterations=1,
+    )
+    record(result)
+    rows = {row["mechanism"]: row for row in result.rows}
+
+    # Cost extremes: table monsters vs nearly-free logic.
+    for heavy in ("Markov", "DBCP"):
+        for light in ("TP", "SP", "GHB", "VC"):
+            assert (rows[heavy]["cost_ratio"] - 1) > 10 * (
+                rows[light]["cost_ratio"] - 1
+            )
+    # GHB's activity makes it thirstier than SP despite similar area.
+    assert rows["GHB"]["power_ratio"] > rows["SP"]["power_ratio"]
+    # SP: top-tier speedup at near-zero cost — the paper's best trade-off.
+    assert rows["SP"]["cost_ratio"] < 1.05
+    assert rows["SP"]["mean_speedup"] > 1.03

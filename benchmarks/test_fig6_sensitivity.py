@@ -1,0 +1,33 @@
+"""Figure 6 — benchmark sensitivity to mechanisms.
+
+Paper: some benchmarks (wupwise, bzip2, crafty, eon, perlbmk, vortex) are
+barely sensitive to any data-cache optimization, while others (apsi,
+equake, fma3d, mgrid, swim, gap) will dominate any assessment.  Shape
+target: the designed low-sensitivity six all fall in the bottom half of
+the spread ranking, and the spread range is wide.
+"""
+
+from conftest import record
+
+from repro.harness import fig6_sensitivity
+from repro.workloads.registry import HIGH_SENSITIVITY, LOW_SENSITIVITY
+
+
+def test_fig6_sensitivity(benchmark, bench_n):
+    result = benchmark.pedantic(
+        lambda: fig6_sensitivity(n_instructions=bench_n),
+        rounds=1, iterations=1,
+    )
+    record(result)
+    order = [row["benchmark"] for row in result.rows]  # most sensitive first
+    half = len(order) // 2
+
+    for name in LOW_SENSITIVITY:
+        assert order.index(name) >= half - 2, f"{name} unexpectedly sensitive"
+    # At least four of the designed high-sensitivity six land in the top half.
+    top = sum(1 for name in HIGH_SENSITIVITY if order.index(name) < half)
+    assert top >= 4
+    # The spread between extremes is an order of magnitude.
+    assert result.summary["max_spread"] > 5 * max(
+        result.summary["min_spread"], 0.01
+    )

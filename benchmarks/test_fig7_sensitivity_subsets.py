@@ -1,0 +1,31 @@
+"""Figure 7 — speedups on high- and low-sensitivity benchmark subsets.
+
+Paper: evaluating on the 6 most sensitive benchmarks inflates every
+mechanism and reshuffles the ranking; on the 6 least sensitive ones the
+mechanisms are nearly indistinguishable.
+"""
+
+from conftest import record
+
+from repro.harness import fig7_sensitivity_subsets
+from repro.mechanisms.registry import BASELINE
+
+
+def test_fig7_sensitivity_subsets(benchmark, bench_n):
+    result = benchmark.pedantic(
+        lambda: fig7_sensitivity_subsets(n_instructions=bench_n),
+        rounds=1, iterations=1,
+    )
+    record(result)
+    rows = {row["subset"]: row for row in result.rows}
+
+    def best_gain(label):
+        return max(
+            value - 1.0 for key, value in rows[label].items()
+            if key not in ("subset", BASELINE) and isinstance(value, float)
+        )
+
+    # High-sensitivity subsets inflate the best mechanism's apparent gain.
+    assert best_gain("high_sensitivity") > 1.5 * best_gain("all")
+    # Low-sensitivity subsets flatten everything.
+    assert best_gain("low_sensitivity") < 0.5 * best_gain("all")

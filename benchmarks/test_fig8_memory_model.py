@@ -1,0 +1,39 @@
+"""Figure 8 — effect of the memory model on speedups and ranking.
+
+Paper: moving from the SimpleScalar-style 70-cycle constant memory to the
+detailed SDRAM cuts speedups by ~58% on average; GHB (which "increases
+memory pressure") loses more than SP; the baseline's average SDRAM latency
+varies enormously per benchmark (87 cycles for gzip, 389 for lucas).
+Shape targets: constant-model gains exceed SDRAM gains on average, GHB's
+reduction exceeds SP's, and per-benchmark SDRAM latency spans a wide range
+with lucas at the top.
+"""
+
+from conftest import record
+
+from repro.harness import fig8_memory_model
+
+
+def test_fig8_memory_model(benchmark, bench_n):
+    result = benchmark.pedantic(
+        lambda: fig8_memory_model(n_instructions=bench_n),
+        rounds=1, iterations=1,
+    )
+    record(result)
+    mech_rows = {row["mechanism"]: row for row in result.rows
+                 if "mechanism" in row}
+    latency = {row["benchmark"]: row["avg_sdram_latency"]
+               for row in result.rows if "benchmark" in row}
+
+    # Speedups shrink under the detailed model, on average.
+    assert result.summary["avg_speedup_reduction_pct"] > 10.0
+    # GHB is punished harder than SP by realistic memory (relative loss).
+    ghb_loss = (result.summary["ghb_constant_gain"]
+                - result.summary["ghb_sdram_gain"])
+    sp_loss = (result.summary["sp_constant_gain"]
+               - result.summary["sp_sdram_gain"])
+    assert ghb_loss > sp_loss - 0.02
+    # Per-benchmark latency varies strongly; lucas sits near the top.
+    assert max(latency.values()) > 2 * min(v for v in latency.values() if v)
+    ordered = sorted(latency, key=latency.get, reverse=True)
+    assert ordered.index("lucas") < len(ordered) // 4

@@ -1,0 +1,29 @@
+"""Table 5 — which mechanism the original articles compared against.
+
+Static data rendered by the harness (no simulation): few articles compare
+beyond one or two prior mechanisms, and comparisons happen mostly when
+"almost compulsory" (GHB vs SP, its own ancestor).
+"""
+
+from conftest import record
+
+from repro.harness import table5_prior_comparisons
+from repro.mechanisms.registry import ALL_MECHANISMS
+
+
+def test_table5_prior_comparisons(benchmark):
+    result = benchmark.pedantic(
+        table5_prior_comparisons, rounds=1, iterations=1,
+    )
+    record(result)
+    pairs = {(row["newer"], row["compared_against"]) for row in result.rows}
+
+    assert ("GHB", "SP") in pairs
+    assert ("TKVC", "VC") in pairs
+    assert ("TK", "DBCP") in pairs and ("TCP", "DBCP") in pairs
+    assert ("DBCP", "Markov") in pairs
+    # Every name in the table is a catalogued mechanism.
+    for newer, older in pairs:
+        assert newer in ALL_MECHANISMS and older in ALL_MECHANISMS
+    # Sparse: far fewer comparisons than mechanism pairs.
+    assert len(pairs) < 10

@@ -1,0 +1,30 @@
+"""Table 6 — which mechanism can be the best with N benchmarks?
+
+Paper: for every selection size up to 23 there is more than one possible
+winner; even mechanisms that are poor on average can be made to win
+sizeable selections (FVC up to 12 benchmarks, Markov up to 9) — the
+quantitative case against cherry-picking.
+"""
+
+from conftest import record
+
+from repro.harness import table6_subset_winners
+
+
+def test_table6_subset_winners(benchmark, bench_n):
+    result = benchmark.pedantic(
+        lambda: table6_subset_winners(n_instructions=bench_n),
+        rounds=1, iterations=1,
+    )
+    record(result)
+    by_size = {row["n_benchmarks"]: row for row in result.rows}
+
+    # Small selections can crown many different winners.
+    assert by_size[1]["count"] >= 4
+    # Multiple winners persist well past half the suite.
+    assert result.summary["max_size_with_multiple_winners"] >= 13
+    # The full suite has exactly one winner.
+    assert by_size[26]["count"] == 1
+    # Winner sets shrink (weakly) as selections grow.
+    counts = [by_size[size]["count"] for size in sorted(by_size)]
+    assert counts[0] >= counts[-1]

@@ -1,0 +1,34 @@
+"""Table 7 — influence of benchmark selection on ranking.
+
+Paper: DBCP ranks 9th over all 26 benchmarks but 3rd on its own article's
+selection; GHB ranks 1st over all 26 and 2nd on its article's selection
+(where SP overtakes it).  Shape target: rankings genuinely move between
+selections, and DBCP does not rank worse on its own selection.
+"""
+
+from conftest import record
+
+from repro.harness import table7_selection_ranking
+
+
+def test_table7_selection_ranking(benchmark, bench_n):
+    result = benchmark.pedantic(
+        lambda: table7_selection_ranking(n_instructions=bench_n),
+        rounds=1, iterations=1,
+    )
+    record(result)
+    rows = {row["selection"]: row for row in result.rows}
+
+    all_ranks = {k: v for k, v in rows["all"].items() if k != "selection"}
+    dbcp_ranks = {k: v for k, v in rows["DBCP_article"].items()
+                  if k != "selection"}
+    # Selections move the ranking.
+    moved = sum(1 for name in all_ranks if all_ranks[name] != dbcp_ranks[name])
+    assert moved >= 4
+    # Article selections do not materially hurt their own mechanism (our
+    # DBCP sits in a near-tied cluster around 1.0, so one rank of noise is
+    # tolerated; the paper's DBCP gained six places on its own selection —
+    # a magnitude our scaled DBCP cannot reproduce, see EXPERIMENTS.md).
+    assert dbcp_ranks["DBCP"] <= all_ranks["DBCP"] + 1
+    # GHB stays top-3 everywhere (it is simply strong).
+    assert all_ranks["GHB"] <= 3

@@ -1,0 +1,58 @@
+"""Tables 1-4 (configuration renderers) and the full speedup matrix.
+
+The configuration tables are printed from the live objects so they cannot
+drift from the implementation; the matrix is the 13 x 26 grid every figure
+projects.
+"""
+
+from conftest import record
+
+from repro.harness.matrix import speedup_matrix
+from repro.harness.tables import (
+    table1_configuration,
+    table2_mechanisms,
+    table3_parameters,
+    table4_benchmarks,
+)
+
+
+def test_configuration_tables(benchmark):
+    def run():
+        return [
+            table1_configuration(),
+            table2_mechanisms(),
+            table3_parameters(),
+            table4_benchmarks(),
+        ]
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    for result in results:
+        record(result)
+    table1, table2, table3, table4 = results
+
+    values = {row["parameter"]: row["value"] for row in table1.rows}
+    assert "128-RUU, 128-LSQ" in values["instruction window"]
+    assert table2.summary["n_mechanisms"] == 12.0
+    queue_by_name = {row["acronym"]: row["request_queue"]
+                     for row in table3.rows}
+    assert queue_by_name["TP"] == 16
+    assert queue_by_name["SP"] == 1
+    assert queue_by_name["GHB"] == 4
+    assert queue_by_name["CDPSP"] == "1/128"
+    selections = {row["mechanism"]: row["n_benchmarks"] for row in table4.rows}
+    assert selections["DBCP"] == 5 and selections["GHB"] == 12
+
+
+def test_speedup_matrix(benchmark, bench_n):
+    result = benchmark.pedantic(
+        lambda: speedup_matrix(n_instructions=bench_n),
+        rounds=1, iterations=1,
+    )
+    record(result)
+    mech_rows = [row for row in result.rows if row["mechanism"] != "Base(IPC)"]
+    assert len(mech_rows) == 12
+    for row in mech_rows:
+        assert len([k for k in row if k not in ("mechanism", "MEAN")]) == 26
+        assert row["MEAN"] > 0.8
+    base = next(row for row in result.rows if row["mechanism"] == "Base(IPC)")
+    assert all(0 < v < 8 for k, v in base.items() if k != "mechanism")

@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""The paper's core exercise: a fair comparison across all 12 mechanisms.
+
+Runs every mechanism of Table 2 on a representative benchmark slice and
+prints the speedup matrix plus the overall ranking — a miniature Figure 4.
+Each benchmark exercises a different memory personality, so you can watch
+each mechanism win on its home turf and do nothing (or harm) elsewhere:
+
+* ``swim``  — unit-stride streaming: every prefetcher's best case;
+* ``apsi``  — line-skipping strides: stride prefetchers only;
+* ``gzip``  — repeating non-arithmetic sequence: Markov territory;
+* ``art``   — L1 set conflicts: the victim-cache family;
+* ``twolf`` — clean pointer chains: content-directed prefetching;
+* ``mcf``   — decoy-laden pointer graph: CDP's failure mode;
+* ``crafty``— cache-resident: nothing should matter (low sensitivity).
+
+Run:  python examples/compare_mechanisms.py  [--full]
+(--full uses all 26 benchmarks; several minutes.)
+"""
+
+import sys
+
+from repro import ComparisonSuite
+from repro.core.selection import rank_mechanisms
+from repro.workloads.registry import ALL_BENCHMARKS
+
+SLICE = ("swim", "apsi", "gzip", "art", "twolf", "mcf", "crafty")
+TRACE_LENGTH = 20_000
+
+
+def main() -> None:
+    benchmarks = ALL_BENCHMARKS if "--full" in sys.argv else SLICE
+    print(f"Sweeping 13 configurations x {len(benchmarks)} benchmarks "
+          f"({TRACE_LENGTH} instructions each)...\n")
+    suite = ComparisonSuite(benchmarks=benchmarks,
+                            n_instructions=TRACE_LENGTH)
+    results = suite.run()
+
+    header = f"{'':8}" + "".join(f"{b:>8}" for b in benchmarks)
+    print(header)
+    for mechanism in results.mechanisms:
+        if mechanism == "Base":
+            continue
+        row = "".join(
+            f"{results.speedup(mechanism, b):>8.3f}" for b in benchmarks
+        )
+        print(f"{mechanism:<8}{row}")
+
+    print("\nRanking by mean speedup (the Figure 4 view):")
+    for position, (name, score) in enumerate(rank_mechanisms(results), 1):
+        bar = "#" * max(0, int((score - 1.0) * 200))
+        print(f"  {position:>2}. {name:<8} {score:.3f}  {bar}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Write your own mechanism and compare it fairly — the MicroLib vision.
+
+The paper's whole argument is that anyone should be able to implement a
+data-cache idea against a shared machine model and get a fair, apples-to-
+apples comparison.  This example does exactly that: it defines a new
+mechanism (a *next-N-lines* prefetcher, a naive generalisation of tagged
+prefetching) in ~30 lines against the plug-in interface, then races it
+against the library's catalogue.
+
+Run:  python examples/custom_mechanism.py
+"""
+
+from typing import List
+
+from repro import run_benchmark, run_trace
+from repro.mechanisms.base import Mechanism, StructureSpec
+from repro.workloads.registry import build
+
+
+class NextNLinesPrefetcher(Mechanism):
+    """On every L2 miss, prefetch the next N sequential lines.
+
+    More aggressive than TP (no tag bit, fixed degree); the comparison
+    shows what that buys on streams and costs everywhere else.
+    """
+
+    LEVEL = "l2"
+    ACRONYM = "NextN"
+    YEAR = 2026
+    QUEUE_SIZE = 32
+    DEGREE = 4
+
+    def on_miss(self, pc: int, block: int, time: int) -> None:
+        self.count_table_access()
+        for k in range(1, self.DEGREE + 1):
+            target = self.cache.addr_of(block + k)
+            if not self.cache.contains(target):
+                self.emit_prefetch(target, time)
+
+    def structures(self) -> List[StructureSpec]:
+        return [StructureSpec("nextn_queue", size_bytes=self.QUEUE_SIZE * 8)]
+
+
+def main() -> None:
+    trace_length = 20_000
+    print("A home-grown mechanism vs the catalogue "
+          f"({trace_length}-instruction traces)\n")
+    print(f"{'benchmark':<10} {'NextN':>8} {'TP':>8} {'SP':>8} {'GHB':>8}")
+    for benchmark in ("swim", "apsi", "gzip", "mcf"):
+        trace, image = build(benchmark, trace_length)
+        base = run_trace(trace, None, image=image, benchmark=benchmark)
+        ours = run_trace(trace, NextNLinesPrefetcher(), image=image,
+                         benchmark=benchmark)
+        row = [ours.speedup_over(base)]
+        for rival in ("TP", "SP", "GHB"):
+            result = run_benchmark(rival and benchmark, rival,
+                                   n_instructions=trace_length)
+            row.append(result.speedup_over(base))
+        print(f"{benchmark:<10}" + "".join(f"{s:>8.3f}" for s in row))
+
+    print(
+        "\nBlind aggression happens to pay on streams and dense node "
+        "arrays —\nand does so by spending several times the bandwidth "
+        "of SP or GHB,\nwhich Figure 5's power model would charge it "
+        "for.  Exactly the kind\nof trade-off the paper argues should be "
+        "measured, not asserted —\nand implementing the mechanism took "
+        "one class and zero simulator\nchanges."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Legacy setup shim for environments whose pip lacks the wheel package."""
+
+from setuptools import setup
+
+setup()

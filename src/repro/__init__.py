@@ -1,0 +1,37 @@
+"""repro — a reproduction of MicroLib (Gracia Pérez, Mouchard & Temam,
+MICRO 2004): an open library of modular simulator components and a fair
+quantitative comparison of hardware data-cache optimizations.
+
+Quick start::
+
+    from repro import run_benchmark
+    print(run_benchmark("swim", "GHB").ipc)
+
+See README.md for the architecture overview, DESIGN.md for the system
+inventory, and EXPERIMENTS.md for paper-vs-measured results.
+"""
+
+from repro.core.comparison import ComparisonSuite
+from repro.core.config import MachineConfig, baseline_config
+from repro.core.results import ResultSet
+from repro.core.simulation import RunResult, build_machine, run_benchmark, run_trace
+from repro.mechanisms.registry import ALL_MECHANISMS, BASELINE, create
+from repro.workloads.registry import ALL_BENCHMARKS
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_BENCHMARKS",
+    "ALL_MECHANISMS",
+    "BASELINE",
+    "ComparisonSuite",
+    "MachineConfig",
+    "ResultSet",
+    "RunResult",
+    "baseline_config",
+    "build_machine",
+    "create",
+    "run_benchmark",
+    "run_trace",
+    "__version__",
+]

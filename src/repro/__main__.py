@@ -1,0 +1,132 @@
+"""Command-line front end: run any paper exhibit or a single simulation.
+
+Examples::
+
+    python -m repro list
+    python -m repro run swim GHB --n 20000
+    python -m repro fig4 --n 20000
+    python -m repro table6 --benchmarks swim,gzip,art,mcf
+    python -m repro all --n 8000          # every exhibit, quick scale
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict
+
+from repro import harness
+from repro.harness.matrix import speedup_matrix
+from repro.harness.tables import (
+    table1_configuration,
+    table2_mechanisms,
+    table3_parameters,
+    table4_benchmarks,
+)
+from repro.core.simulation import DEFAULT_INSTRUCTIONS, run_benchmark
+from repro.mechanisms.registry import ALL_MECHANISMS, EXTENSIONS, mechanism_info
+from repro.workloads.registry import ALL_BENCHMARKS
+
+EXHIBITS: Dict[str, Callable] = {
+    "fig1": harness.fig1_model_validation,
+    "fig2": harness.fig2_reveng_error,
+    "fig3": harness.fig3_dbcp_fix,
+    "fig4": harness.fig4_speedup,
+    "fig5": harness.fig5_cost_power,
+    "fig6": harness.fig6_sensitivity,
+    "fig7": harness.fig7_sensitivity_subsets,
+    "fig8": harness.fig8_memory_model,
+    "fig9": harness.fig9_mshr,
+    "fig10": harness.fig10_second_guessing,
+    "fig11": harness.fig11_trace_selection,
+    "table1": table1_configuration,
+    "table2": table2_mechanisms,
+    "table3": table3_parameters,
+    "table4": table4_benchmarks,
+    "matrix": speedup_matrix,
+    "table5": harness.table5_prior_comparisons,
+    "table6": harness.table6_subset_winners,
+    "table7": harness.table7_selection_ranking,
+}
+
+
+def _cmd_list() -> int:
+    print("Benchmarks (26):")
+    print("  " + ", ".join(ALL_BENCHMARKS))
+    print("\nMechanisms (paper order):")
+    for name in ALL_MECHANISMS:
+        info = mechanism_info(name)
+        year = str(info.year) if info.year else "-"
+        print(f"  {name:<7} {info.level:<3} {year:<5} {info.description}")
+    print("\nLibrary extensions:")
+    for name in EXTENSIONS:
+        info = mechanism_info(name)
+        print(f"  {name:<7} {info.level:<3} {info.year:<5} {info.description}")
+    print("\nExhibits: " + ", ".join(EXHIBITS) + ", all")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    base = run_benchmark(args.benchmark, "Base", n_instructions=args.n)
+    result = run_benchmark(args.benchmark, args.mechanism,
+                           n_instructions=args.n)
+    print(f"{args.benchmark} / {args.mechanism}: "
+          f"ipc={result.ipc:.4f} speedup={result.speedup_over(base):.3f} "
+          f"l1_miss={result.l1_miss_rate:.1%} "
+          f"l2_miss={result.l2_miss_rate:.1%} "
+          f"mem_latency={result.avg_memory_latency:.0f} "
+          f"prefetches={result.prefetches_issued:.0f} "
+          f"useful={result.useful_prefetches:.0f}")
+    return 0
+
+
+def _run_exhibit(name: str, args) -> int:
+    driver = EXHIBITS[name]
+    kwargs = {}
+    static = {"table1", "table2", "table3", "table4", "table5"}
+    if name not in static:
+        kwargs["n_instructions"] = args.n
+        if args.benchmarks:
+            kwargs["benchmarks"] = tuple(args.benchmarks.split(","))
+    print(driver(**kwargs).render())
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="MicroLib reproduction: simulations and paper exhibits",
+    )
+    parser.add_argument("command",
+                        help="'list', 'run', 'all', or an exhibit name "
+                             f"({', '.join(EXHIBITS)})")
+    parser.add_argument("benchmark", nargs="?",
+                        help="benchmark name (for 'run')")
+    parser.add_argument("mechanism", nargs="?", default="Base",
+                        help="mechanism acronym (for 'run')")
+    parser.add_argument("--n", type=int, default=DEFAULT_INSTRUCTIONS,
+                        help="instructions per simulation "
+                             f"(default {DEFAULT_INSTRUCTIONS})")
+    parser.add_argument("--benchmarks",
+                        help="comma-separated benchmark subset for exhibits")
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        if not args.benchmark:
+            parser.error("'run' needs a benchmark (and optional mechanism)")
+        return _cmd_run(args)
+    if args.command == "all":
+        for name in EXHIBITS:
+            _run_exhibit(name, args)
+            print()
+        return 0
+    if args.command in EXHIBITS:
+        return _run_exhibit(args.command, args)
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

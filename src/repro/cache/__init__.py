@@ -1,0 +1,23 @@
+"""The MicroLib data-cache substrate.
+
+This package is the heart of the reproduction: a cache model precise enough
+to exhibit the contention phenomena the paper shows SimpleScalar's cache
+hides (Section 2.2):
+
+* finite MSHRs (8 entries, 4 merged reads each) that stall the cache — and
+  through it the LSQ — when exhausted;
+* a tag pipeline that stalls on structural hazards;
+* strict port accounting, including refills consuming ports;
+* writeback + allocate-on-write policies with real dirty-victim traffic.
+
+Setting ``precise=False`` (or building from
+``MachineConfig.with_simplescalar_cache()``) disables all four refinements,
+reproducing the imprecise SimpleScalar behaviour for the Figure 1 and
+Figure 9 experiments.
+"""
+
+from repro.cache.cache import Cache, CacheLine
+from repro.cache.mshr import MSHRFile
+from repro.cache.hierarchy import AccessResult, MemoryHierarchy
+
+__all__ = ["AccessResult", "Cache", "CacheLine", "MemoryHierarchy", "MSHRFile"]

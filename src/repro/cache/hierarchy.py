@@ -1,0 +1,284 @@
+"""The two-level memory hierarchy of Table 1.
+
+Wires together the L1 data cache, the unified L2, the 32-byte L1/L2 bus, the
+64-byte 400 MHz memory bus, and one of the three main-memory models.  At
+most one mechanism is attached per run (as in the paper's study); it lands
+on L1 or L2 according to its ``LEVEL``.
+
+Prefetch draining
+-----------------
+Mechanisms emit prefetches into their bounded request queue.  The hierarchy
+drains the queue at every demand access: each queued prefetch seizes the
+appropriate bus (L1/L2 bus for L1 mechanisms, the memory bus for L2
+mechanisms) in FIFO order with demand traffic.  This is exactly the
+contention channel through which the paper's SDRAM experiment (Figure 8)
+punishes bandwidth-hungry prefetchers, and through which an over-large
+prefetch queue "will seize the bus whenever it is available, increasing the
+probability that normal miss requests are delayed" (Section 3.4, the
+``lucas``/TCP discussion).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cache.cache import Cache
+from repro.core.config import (
+    MEMORY_CONSTANT,
+    MEMORY_SDRAM,
+    MEMORY_SDRAM_FAST,
+    MachineConfig,
+    sdram70_config,
+)
+from repro.dram.constant import ConstantLatencyMemory
+from repro.dram.controller import SDRAMController
+from repro.kernel.engine import Simulator
+from repro.kernel.module import Component
+from repro.kernel.resources import Bus
+from repro.mechanisms.base import Mechanism
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Where a probe would be satisfied (debug/teaching helper)."""
+
+    level: str  # "l1" | "l2" | "memory"
+
+
+class MemoryHierarchy(Component):
+    """L1D + unified L2 + buses + main memory, with one optional mechanism."""
+
+    def __init__(
+        self,
+        config: MachineConfig,
+        mechanism: Optional[Mechanism] = None,
+        image=None,
+        name: str = "memory",
+        parent: Optional[Component] = None,
+    ):
+        super().__init__(name, parent)
+        self.config = config
+        self.image = image
+        self.sim = Simulator()
+
+        self.l1d = Cache(
+            config.l1d,
+            precise=config.precise_cache,
+            infinite_mshr=config.infinite_mshr,
+            parent=self,
+        )
+        self.l1i = Cache(
+            config.l1i,
+            precise=config.precise_cache,
+            infinite_mshr=config.infinite_mshr,
+            parent=self,
+        )
+        self.l2 = Cache(
+            config.l2,
+            precise=config.precise_cache,
+            infinite_mshr=config.infinite_mshr,
+            parent=self,
+        )
+        # Split-transaction buses: a one-cycle command/address channel and a
+        # width-limited data-return channel.  An in-flight refill therefore
+        # blocks the *data* channel only, not new requests.
+        self.l1_l2_bus = Bus(config.l1_l2_bus.cpu_cycles_per_transfer)
+        self.l1_l2_cmd = Bus(1)
+        self.memory_bus = Bus(config.memory_bus.cpu_cycles_per_transfer)
+        self.memory_cmd = Bus(1)
+
+        if config.memory_model == MEMORY_SDRAM:
+            self.memory = SDRAMController(
+                config.sdram, scheme=config.dram_interleave,
+                page_policy=config.dram_page_policy, parent=self,
+            )
+        elif config.memory_model == MEMORY_SDRAM_FAST:
+            self.memory = SDRAMController(
+                sdram70_config(), scheme=config.dram_interleave,
+                page_policy=config.dram_page_policy, parent=self,
+            )
+        elif config.memory_model == MEMORY_CONSTANT:
+            self.memory = ConstantLatencyMemory(
+                config.constant_memory_latency, parent=self
+            )
+        else:
+            raise ValueError(f"unknown memory model {config.memory_model!r}")
+
+        self.l1d.fetch_next = self._fetch_from_l2
+        self.l1d.writeback_next = self._writeback_to_l2
+        # Instructions are read-only: fills from the unified L2, no
+        # writebacks, and no mechanism slot (the study is data caches).
+        self.l1i.fetch_next = self._fetch_from_l2
+        self.l1i.writeback_next = None
+        self.l2.fetch_next = self._fetch_from_memory
+        self.l2.writeback_next = self._writeback_to_memory
+
+        self.mechanism = mechanism
+        if mechanism is not None:
+            target = self.l1d if mechanism.LEVEL == "l1" else self.l2
+            mechanism.attach(target, self)
+            if mechanism.parent is None:
+                self.children.append(mechanism)
+                mechanism.parent = self
+
+        self.st_loads = self.add_stat("loads")
+        self.st_stores = self.add_stat("stores")
+        self.st_prefetches_issued = self.add_stat("prefetches_issued")
+        self.st_prefetches_redundant = self.add_stat(
+            "prefetches_redundant", "prefetches for already-resident lines"
+        )
+
+    # -- demand interface (called by the core) ------------------------------------
+
+    def load(self, pc: int, addr: int, time: int) -> int:
+        """Issue a load; return the cycle its data is ready."""
+        self.advance(time)
+        self.st_loads.add()
+        return self.l1d.access(pc, addr, time, is_write=False)
+
+    #: Sentinel PC marking instruction-side traffic: the data-cache
+    #: mechanisms of the study never see it (their wrappers sat on the
+    #: data path), even though the unified L2 carries it.
+    INSTRUCTION_PC = -1
+
+    def fetch_instruction(self, pc: int, time: int) -> int:
+        """Front-end fetch of the line holding ``pc``; return ready cycle."""
+        self.advance(time)
+        return self.l1i.access(self.INSTRUCTION_PC, pc, time, is_write=False)
+
+    def store(self, pc: int, addr: int, value: int, time: int) -> int:
+        """Issue a store (post-commit, from the write buffer)."""
+        self.advance(time)
+        self.st_stores.add()
+        if self.image is not None:
+            self.image.write(addr, value)
+        return self.l1d.access(pc, addr, time, is_write=True)
+
+    def advance(self, time: int) -> None:
+        """Bring deferred work (decay events, queued prefetches) up to ``time``."""
+        if self.sim.peek_time() is not None and self.sim.peek_time() <= time:
+            self.sim.run_until(time)
+        elif time > self.sim.now:
+            self.sim.now = time
+        mech = self.mechanism
+        if mech is not None:
+            self._drain_prefetches(mech, time)
+
+    # -- inter-level plumbing ---------------------------------------------------
+
+    def _fetch_from_l2(self, addr: int, time: int, pc: int, is_prefetch: bool) -> int:
+        """L1 miss: command to L2, L2 access, data back over the data bus."""
+        _, request_at = self.l1_l2_cmd.acquire(time)
+        ready = self.l2.access(pc, addr, request_at, is_write=False)
+        _, arrival = self.l1_l2_bus.acquire(ready)
+        return arrival
+
+    def _writeback_to_l2(self, addr: int, time: int) -> None:
+        """Dirty L1 victim: one data-bus transfer, then an L2 write access."""
+        _, arrival = self.l1_l2_bus.acquire(time)
+        self.l2.access(0, addr, arrival, is_write=True)
+
+    def _fetch_from_memory(self, addr: int, time: int, pc: int, is_prefetch: bool) -> int:
+        """L2 miss: command over the memory bus, DRAM, data return transfer."""
+        if isinstance(self.memory, ConstantLatencyMemory):
+            # SimpleScalar-style memory: fixed latency, infinite bandwidth.
+            return self.memory.access(addr, time)
+        _, request_at = self.memory_cmd.acquire(time)
+        ready = self.memory.access(addr, request_at)
+        _, arrival = self.memory_bus.acquire(ready)
+        return arrival
+
+    def _writeback_to_memory(self, addr: int, time: int) -> None:
+        if isinstance(self.memory, ConstantLatencyMemory):
+            self.memory.access(addr, time, is_write=True)
+            return
+        _, arrival = self.memory_bus.acquire(time)
+        self.memory.access(addr, arrival, is_write=True)
+
+    # -- prefetch issue ------------------------------------------------------------
+
+    def _drain_prefetches(self, mech: Mechanism, time: int) -> None:
+        """Issue queued prefetches while the target bus is idle.
+
+        Prefetches wait in their queue "until the bus is idle and a request
+        can be sent" (Section 3.4): an L2 prefetch issues only while the
+        memory controller has comfortable headroom (under three quarters of
+        its 32 request slots in flight), at most a few per drain.  A
+        congested memory system leaves the remainder queued for the next
+        drain; a full queue meanwhile drops new requests.
+        """
+        throttle = None
+        if (
+            self.config.prefetch_throttle
+            and mech.LEVEL == "l2"
+            and isinstance(self.memory, SDRAMController)
+        ):
+            limit = (self.memory.config.queue_entries * 3) // 4
+            throttle = lambda: self.memory.occupancy(time) >= limit
+        budget = 4
+        for queue in mech.iter_queues():
+            while queue and budget:
+                if throttle is not None and throttle():
+                    return
+                budget -= 1
+                request = queue.pop()
+                if mech.LEVEL == "l2":
+                    self._issue_l2_prefetch(mech, request.addr, time, request.depth)
+                else:
+                    self._issue_l1_prefetch(mech, request.addr, time, request.depth)
+
+    def _issue_l2_prefetch(self, mech: Mechanism, addr: int, time: int, depth: int) -> None:
+        if self.l2.contains(addr) or not self.l2.can_accept_prefetch(time):
+            self.st_prefetches_redundant.add()
+            return
+        ready = self._fetch_from_memory(addr, time, 0, True)
+        if mech.deliver_prefetch(addr, ready, time):
+            self.st_prefetches_issued.add()
+            mech.on_prefetch_fill(self.l2.block_of(addr), depth, ready)
+        else:
+            self.st_prefetches_redundant.add()
+
+    def _issue_l1_prefetch(self, mech: Mechanism, addr: int, time: int, depth: int) -> None:
+        if self.l1d.contains(addr):
+            self.st_prefetches_redundant.add()
+            return
+        if mech.PREFETCH_FROM_L2_ONLY and not self.l2.contains(addr):
+            self.st_prefetches_redundant.add()
+            return
+        if not mech.USES_PREFETCH_BUFFER and not self.l1d.can_accept_prefetch(time):
+            self.st_prefetches_redundant.add()
+            return
+        ready = self._fetch_from_l2(addr, time, 0, True)
+        if mech.deliver_prefetch(addr, ready, time):
+            self.st_prefetches_issued.add()
+            mech.on_prefetch_fill(self.l1d.block_of(addr), depth, ready)
+        else:
+            self.st_prefetches_redundant.add()
+
+    # -- introspection -------------------------------------------------------------
+
+    def classify(self, addr: int) -> AccessResult:
+        """Which level currently holds ``addr`` (no state change)."""
+        if self.l1d.contains(addr):
+            return AccessResult("l1")
+        if self.l2.contains(addr):
+            return AccessResult("l2")
+        return AccessResult("memory")
+
+    def read_line_values(self, addr: int, line_size: int):
+        """Words of the line containing ``addr`` from the functional image."""
+        if self.image is None:
+            return ()
+        line_addr = addr & ~(line_size - 1)
+        return self.image.read_line(line_addr, line_size)
+
+    def reset(self) -> None:
+        self.sim.reset()
+        self.l1d.reset()
+        self.l1i.reset()
+        self.l2.reset()
+        self.l1_l2_bus.reset()
+        self.memory_bus.reset()
+        self.memory.reset()
+        self.reset_stats()

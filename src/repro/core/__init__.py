@@ -1,0 +1,59 @@
+"""MicroLib core: configuration, simulation driver, comparison engine.
+
+This package is the paper's primary contribution rendered as a library:
+
+* :mod:`repro.core.config` — the Table 1 machine and its variants;
+* :mod:`repro.core.simulation` — build a machine, attach a mechanism, run a
+  benchmark trace, return IPC and detailed statistics;
+* :mod:`repro.core.comparison` — sweep mechanisms x benchmarks into a
+  result matrix (the substrate of every figure);
+* :mod:`repro.core.selection` — rankings and the benchmark-subset winner
+  search (Tables 6 and 7);
+* :mod:`repro.core.sensitivity` — per-benchmark sensitivity analysis
+  (Figures 6 and 7);
+* :mod:`repro.core.results` — serialisable result sets;
+* :mod:`repro.core.priorwork` — who compared against whom (Table 5).
+"""
+
+from repro.core.config import (
+    BusConfig,
+    CacheConfig,
+    CoreConfig,
+    MachineConfig,
+    MEMORY_CONSTANT,
+    MEMORY_SDRAM,
+    MEMORY_SDRAM_FAST,
+    SDRAMConfig,
+    baseline_config,
+)
+from repro.core.simulation import RunResult, build_machine, run_benchmark
+from repro.core.comparison import ComparisonSuite
+from repro.core.results import ResultSet
+from repro.core.selection import (
+    rank_mechanisms,
+    ranking_table,
+    winners_by_subset_size,
+)
+from repro.core.sensitivity import benchmark_sensitivity, sensitivity_split
+
+__all__ = [
+    "BusConfig",
+    "CacheConfig",
+    "ComparisonSuite",
+    "CoreConfig",
+    "MEMORY_CONSTANT",
+    "MEMORY_SDRAM",
+    "MEMORY_SDRAM_FAST",
+    "MachineConfig",
+    "ResultSet",
+    "RunResult",
+    "SDRAMConfig",
+    "baseline_config",
+    "benchmark_sensitivity",
+    "build_machine",
+    "rank_mechanisms",
+    "ranking_table",
+    "run_benchmark",
+    "sensitivity_split",
+    "winners_by_subset_size",
+]

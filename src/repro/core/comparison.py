@@ -1,0 +1,63 @@
+"""The comparison engine: sweep mechanisms x benchmarks into a ResultSet.
+
+This is MicroLib's *raison d'être*: with every mechanism implemented
+against the same machine, a fair quantitative comparison is one loop.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+from repro.core.config import MachineConfig, baseline_config
+from repro.core.results import ResultSet
+from repro.core.simulation import DEFAULT_INSTRUCTIONS, run_benchmark
+from repro.mechanisms.registry import ALL_MECHANISMS, BASELINE
+from repro.workloads.registry import ALL_BENCHMARKS
+
+ProgressFn = Callable[[str, str], None]
+
+
+class ComparisonSuite:
+    """Configure once, run a full mechanism x benchmark sweep.
+
+    ``mechanism_kwargs`` maps a mechanism name to variant keyword
+    arguments, so a suite can compare e.g. the *initial* and *fixed* DBCP
+    builds by using two suites, or TCP with a 1-entry prefetch queue.
+    """
+
+    def __init__(
+        self,
+        config: Optional[MachineConfig] = None,
+        benchmarks: Sequence[str] = ALL_BENCHMARKS,
+        mechanisms: Sequence[str] = ALL_MECHANISMS,
+        n_instructions: int = DEFAULT_INSTRUCTIONS,
+        mechanism_kwargs: Optional[Dict[str, Dict]] = None,
+        trace_window: Optional[Tuple[int, int]] = None,
+    ):
+        self.config = config or baseline_config()
+        self.benchmarks = list(benchmarks)
+        self.mechanisms = list(mechanisms)
+        if BASELINE not in self.mechanisms:
+            self.mechanisms.insert(0, BASELINE)
+        self.n_instructions = n_instructions
+        self.mechanism_kwargs = dict(mechanism_kwargs or {})
+        self.trace_window = trace_window
+
+    def run(self, progress: Optional[ProgressFn] = None) -> ResultSet:
+        """Execute every (mechanism, benchmark) pair; return the grid."""
+        results = ResultSet()
+        for mechanism in self.mechanisms:
+            for benchmark in self.benchmarks:
+                if progress is not None:
+                    progress(mechanism, benchmark)
+                results.add(
+                    run_benchmark(
+                        benchmark,
+                        mechanism,
+                        config=self.config,
+                        n_instructions=self.n_instructions,
+                        mechanism_kwargs=self.mechanism_kwargs.get(mechanism),
+                        trace_window=self.trace_window,
+                    )
+                )
+        return results

@@ -1,0 +1,189 @@
+"""Machine configuration — Table 1 of the paper.
+
+Every experiment in the paper runs on one "scaled up superscalar
+implementation" whose parameters (reproduced here as defaults) were shared by
+several of the original mechanism articles.  :func:`baseline_config` returns
+that machine; experiments derive variants with :func:`dataclasses.replace`
+(e.g. the infinite-MSHR configuration of Figure 9 or the constant-latency
+memory of Figure 8).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and timing of one cache level."""
+
+    name: str
+    size: int                       # bytes
+    assoc: int                      # ways; 1 = direct-mapped
+    line_size: int                  # bytes
+    latency: int                    # access latency, cycles
+    ports: int = 1
+    mshr_entries: int = 8           # miss-status holding registers
+    mshr_reads: int = 4             # secondary misses merged per MSHR
+    writeback: bool = True
+    allocate_on_write: bool = True
+
+    @property
+    def n_sets(self) -> int:
+        return self.size // (self.line_size * self.assoc)
+
+    @property
+    def n_lines(self) -> int:
+        return self.size // self.line_size
+
+    def __post_init__(self) -> None:
+        if self.size % (self.line_size * self.assoc) != 0:
+            raise ValueError(
+                f"{self.name}: size {self.size} not divisible by "
+                f"line {self.line_size} x assoc {self.assoc}"
+            )
+        n_sets = self.size // (self.line_size * self.assoc)
+        if n_sets & (n_sets - 1):
+            raise ValueError(f"{self.name}: set count {n_sets} not a power of two")
+
+
+@dataclass(frozen=True)
+class BusConfig:
+    """A point-to-point or shared bus; transfer time in CPU cycles."""
+
+    name: str
+    width_bytes: int
+    cpu_cycles_per_transfer: int
+
+
+@dataclass(frozen=True)
+class SDRAMConfig:
+    """SDRAM geometry and timing, in CPU cycles (2 GHz core).
+
+    Field names follow Table 1 of the paper.  ``scale`` lets Figure 8 derive
+    the "70-cycle average latency SDRAM" by shrinking all timings.
+    """
+
+    capacity: int = 2 << 30         # 2 GB
+    banks: int = 4
+    rows: int = 8192
+    columns: int = 1024             # column width is the bus width
+    ras_to_ras: int = 20            # delay between activates to distinct banks
+    ras_active: int = 80            # tRAS: activate-to-precharge minimum
+    ras_to_cas: int = 30            # tRCD: activate-to-read
+    cas_latency: int = 30           # tCL
+    ras_precharge: int = 30         # tRP
+    ras_cycle: int = 110            # tRC: activate-to-activate, same bank
+    queue_entries: int = 32         # controller queue
+
+    def scaled(self, factor: float) -> "SDRAMConfig":
+        """Return a copy with all timing parameters scaled by ``factor``."""
+        scaled_fields: Dict[str, int] = {}
+        for name in (
+            "ras_to_ras",
+            "ras_active",
+            "ras_to_cas",
+            "cas_latency",
+            "ras_precharge",
+            "ras_cycle",
+        ):
+            scaled_fields[name] = max(1, round(getattr(self, name) * factor))
+        return dataclasses.replace(self, **scaled_fields)
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """Out-of-order core parameters (Table 1, "Processor core")."""
+
+    ruu_size: int = 128             # register update unit (instruction window)
+    lsq_size: int = 128             # load/store queue
+    fetch_width: int = 8
+    issue_width: int = 8
+    commit_width: int = 8
+    int_alu: int = 8
+    int_mul: int = 3
+    fp_alu: int = 6
+    fp_mul: int = 2
+    lsu: int = 4                    # load/store units
+    mispredict_penalty: int = 3     # front-end refill after branch resolution
+
+
+#: Memory-model selector values for :class:`MachineConfig`.
+MEMORY_SDRAM = "sdram"
+MEMORY_CONSTANT = "constant"
+MEMORY_SDRAM_FAST = "sdram70"
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """The full simulated machine."""
+
+    core: CoreConfig = field(default_factory=CoreConfig)
+    l1d: CacheConfig = field(
+        default_factory=lambda: CacheConfig(
+            name="l1d", size=32 << 10, assoc=1, line_size=32, latency=1,
+            ports=4, mshr_entries=8, mshr_reads=4,
+        )
+    )
+    l1i: CacheConfig = field(
+        default_factory=lambda: CacheConfig(
+            name="l1i", size=32 << 10, assoc=4, line_size=32, latency=1,
+            ports=1, mshr_entries=8, mshr_reads=4,
+        )
+    )
+    l2: CacheConfig = field(
+        default_factory=lambda: CacheConfig(
+            name="l2", size=1 << 20, assoc=4, line_size=64, latency=12,
+            ports=1, mshr_entries=8, mshr_reads=4,
+        )
+    )
+    #: 32-byte wide bus at core frequency: one L1 line per transfer.
+    l1_l2_bus: BusConfig = field(
+        default_factory=lambda: BusConfig("l1_l2", 32, 1)
+    )
+    #: 64-byte 400 MHz front-side bus: 2 GHz / 400 MHz = 5 CPU cycles/beat.
+    memory_bus: BusConfig = field(
+        default_factory=lambda: BusConfig("membus", 64, 5)
+    )
+    sdram: SDRAMConfig = field(default_factory=SDRAMConfig)
+    #: DRAM address mapping: "permutation" (the retained conflict-reducing
+    #: scheme) or "linear" — an ablation knob, see benchmarks/.
+    dram_interleave: str = "permutation"
+    #: DRAM row-buffer policy: "open" (Table 1 behaviour) or "closed".
+    dram_page_policy: str = "open"
+    memory_model: str = MEMORY_SDRAM
+    constant_memory_latency: int = 70
+    #: When False the caches behave like SimpleScalar's: infinite MSHRs, no
+    #: pipeline stalls, refills do not consume ports (Figures 1 and 9).
+    precise_cache: bool = True
+    infinite_mshr: bool = False
+    #: When True (default), prefetches wait for memory-controller headroom
+    #: before issuing — the paper's "until the bus is idle" policy.  An
+    #: ablation knob: False lets prefetchers contend without restraint.
+    prefetch_throttle: bool = True
+
+    def with_memory_model(self, model: str) -> "MachineConfig":
+        if model not in (MEMORY_SDRAM, MEMORY_CONSTANT, MEMORY_SDRAM_FAST):
+            raise ValueError(f"unknown memory model {model!r}")
+        return dataclasses.replace(self, memory_model=model)
+
+    def with_infinite_mshr(self) -> "MachineConfig":
+        return dataclasses.replace(self, infinite_mshr=True)
+
+    def with_simplescalar_cache(self) -> "MachineConfig":
+        """The imprecise cache model used for the Figure 1 comparison."""
+        return dataclasses.replace(self, precise_cache=False, infinite_mshr=True)
+
+
+def baseline_config() -> MachineConfig:
+    """The Table 1 machine: every experiment's point of departure."""
+    return MachineConfig()
+
+
+#: The "scaled-down" SDRAM whose average latency approximates the 70-cycle
+#: constant model (Figure 8): the paper reduced CAS latency 6 -> 2 memory
+#: cycles, i.e. roughly a 1/3 scaling of the access components.
+def sdram70_config() -> SDRAMConfig:
+    return SDRAMConfig().scaled(1 / 3)

@@ -1,0 +1,31 @@
+"""Table 5 — which mechanism the original articles compared against.
+
+"Few articles have quantitative comparisons with (one or two) previous
+mechanisms, except when comparisons are almost compulsory" (Section 3.1).
+Kept as data so the harness can render the table and tests can cross-check
+it against the mechanism catalogue.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+#: mechanism -> mechanisms its article quantitatively compared against.
+PREVIOUS_COMPARISONS: Dict[str, Tuple[str, ...]] = {
+    "DBCP": ("Markov",),
+    "TK": ("DBCP",),
+    "TCP": ("DBCP",),
+    "TKVC": ("VC",),
+    "CDP": ("SP",),
+    "CDPSP": ("SP",),
+    "GHB": ("SP",),
+}
+
+
+def comparison_pairs() -> Tuple[Tuple[str, str], ...]:
+    """Flat (newer, older) pairs in the paper's listing order."""
+    pairs = []
+    for newer, olders in PREVIOUS_COMPARISONS.items():
+        for older in olders:
+            pairs.append((newer, older))
+    return tuple(pairs)

@@ -1,0 +1,108 @@
+"""Result containers for mechanism x benchmark sweeps."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.simulation import RunResult
+from repro.mechanisms.registry import BASELINE
+
+
+class ResultSet:
+    """A grid of :class:`RunResult` keyed by (mechanism, benchmark).
+
+    The baseline must be present for speedup queries.  Iteration orders
+    follow insertion order of :meth:`add`, so sweeps built in paper order
+    render in paper order.
+    """
+
+    def __init__(self) -> None:
+        self._results: Dict[Tuple[str, str], RunResult] = {}
+        self._mechanisms: List[str] = []
+        self._benchmarks: List[str] = []
+
+    # -- construction -------------------------------------------------------------
+
+    def add(self, result: RunResult) -> None:
+        key = (result.mechanism, result.benchmark)
+        if key in self._results:
+            raise ValueError(f"duplicate result for {key}")
+        self._results[key] = result
+        if result.mechanism not in self._mechanisms:
+            self._mechanisms.append(result.mechanism)
+        if result.benchmark not in self._benchmarks:
+            self._benchmarks.append(result.benchmark)
+
+    # -- access --------------------------------------------------------------------
+
+    @property
+    def mechanisms(self) -> List[str]:
+        return list(self._mechanisms)
+
+    @property
+    def benchmarks(self) -> List[str]:
+        return list(self._benchmarks)
+
+    def get(self, mechanism: str, benchmark: str) -> RunResult:
+        try:
+            return self._results[(mechanism, benchmark)]
+        except KeyError:
+            raise KeyError(f"no result for ({mechanism}, {benchmark})") from None
+
+    def __contains__(self, key: Tuple[str, str]) -> bool:
+        return key in self._results
+
+    def __len__(self) -> int:
+        return len(self._results)
+
+    def ipc(self, mechanism: str, benchmark: str) -> float:
+        return self.get(mechanism, benchmark).ipc
+
+    def speedup(self, mechanism: str, benchmark: str) -> float:
+        """IPC speedup of ``mechanism`` over the baseline on ``benchmark``."""
+        base = self.get(BASELINE, benchmark)
+        return self.get(mechanism, benchmark).speedup_over(base)
+
+    def mean_speedup(
+        self, mechanism: str, benchmarks: Optional[Sequence[str]] = None
+    ) -> float:
+        """Arithmetic-mean speedup over ``benchmarks`` (default: all)."""
+        names = list(benchmarks) if benchmarks is not None else self._benchmarks
+        if not names:
+            raise ValueError("empty benchmark selection")
+        return sum(self.speedup(mechanism, b) for b in names) / len(names)
+
+    def speedup_row(self, mechanism: str) -> Dict[str, float]:
+        """Per-benchmark speedups for one mechanism."""
+        return {b: self.speedup(mechanism, b) for b in self._benchmarks}
+
+    # -- persistence -----------------------------------------------------------------
+
+    def to_json(self) -> str:
+        payload = []
+        for result in self._results.values():
+            row = asdict(result)
+            row.pop("stats", None)  # detailed stats stay in memory only
+            payload.append(row)
+        return json.dumps({"results": payload}, indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ResultSet":
+        data = json.loads(text)
+        result_set = cls()
+        for row in data["results"]:
+            result_set.add(RunResult(**row))
+        return result_set
+
+    # -- bulk helpers ----------------------------------------------------------------
+
+    def subset(self, benchmarks: Iterable[str]) -> "ResultSet":
+        """A new ResultSet restricted to ``benchmarks``."""
+        wanted = set(benchmarks)
+        out = ResultSet()
+        for (mechanism, benchmark), result in self._results.items():
+            if benchmark in wanted:
+                out.add(result)
+        return out

@@ -1,0 +1,55 @@
+"""Benchmark-sensitivity analysis (Figures 6 and 7).
+
+"The benchmark sensitivity to mechanisms varies greatly" (Section 3.2):
+some benchmarks barely react to any data-cache optimization while others
+dominate every average.  Sensitivity of a benchmark is measured as the
+spread (max - min) of the speedups all mechanisms achieve on it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.results import ResultSet
+from repro.mechanisms.registry import BASELINE
+
+
+def benchmark_sensitivity(
+    results: ResultSet, mechanisms: Optional[Sequence[str]] = None
+) -> Dict[str, float]:
+    """Benchmark -> speedup spread across mechanisms (Figure 6)."""
+    names = [
+        m for m in (mechanisms if mechanisms is not None else results.mechanisms)
+        if m != BASELINE
+    ]
+    if not names:
+        raise ValueError("need at least one non-baseline mechanism")
+    sensitivity = {}
+    for benchmark in results.benchmarks:
+        speedups = [results.speedup(m, benchmark) for m in names]
+        sensitivity[benchmark] = max(speedups) - min(speedups)
+    return sensitivity
+
+
+def sensitivity_split(
+    results: ResultSet, k: int = 6
+) -> Tuple[List[str], List[str]]:
+    """The ``k`` most and least sensitive benchmarks (Figure 7's subsets)."""
+    sensitivity = benchmark_sensitivity(results)
+    ordered = sorted(sensitivity, key=sensitivity.get, reverse=True)
+    if k * 2 > len(ordered):
+        raise ValueError(f"k={k} too large for {len(ordered)} benchmarks")
+    return ordered[:k], ordered[-k:]
+
+
+def subset_speedups(
+    results: ResultSet, subsets: Dict[str, Sequence[str]]
+) -> Dict[str, Dict[str, float]]:
+    """Figure 7 rows: subset label -> (mechanism -> mean speedup)."""
+    table: Dict[str, Dict[str, float]] = {}
+    for label, benchmarks in subsets.items():
+        table[label] = {
+            mechanism: results.mean_speedup(mechanism, benchmarks)
+            for mechanism in results.mechanisms
+        }
+    return table

@@ -1,0 +1,15 @@
+"""Area and power models (the CACTI 3.2 / XCACTI stand-ins for Figure 5).
+
+The paper prices each mechanism's hardware with CACTI (area) and XCACTI
+(power) and reports *ratios* relative to the base cache.  This package
+provides analytical equivalents that preserve the orderings the paper
+highlights: Markov and DBCP are enormous (megabyte tables); TP, SP and GHB
+are almost free in area; GHB is nonetheless power-hungry because every miss
+triggers repeated table walks and up to four prefetch requests, while SP
+performs a single lookup per access.
+"""
+
+from repro.costmodel.cacti import CactiModel, area_mm2
+from repro.costmodel.power import PowerModel, access_energy_nj
+
+__all__ = ["CactiModel", "PowerModel", "access_energy_nj", "area_mm2"]

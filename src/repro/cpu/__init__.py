@@ -1,0 +1,13 @@
+"""Out-of-order processor core (the ``sim-outorder`` stand-in).
+
+A one-pass timeline model of the Table 1 core: 8-wide fetch/issue/commit,
+128-entry RUU, 128-entry LSQ, the Table 1 functional-unit pools, dependence
+chains, branch-mispredict front-end squashes, and a store write buffer.  See
+DESIGN.md section 2 for why this substitution preserves the study's
+behaviour: IPC differences between cache mechanisms come from memory-system
+timing interacting with window occupancy, both of which are modelled.
+"""
+
+from repro.cpu.ooo import CoreStats, OoOCore
+
+__all__ = ["CoreStats", "OoOCore"]

@@ -1,0 +1,231 @@
+"""One-pass out-of-order core timeline model.
+
+Each trace record is processed exactly once, in program order, computing the
+cycle at which it fetches, dispatches, issues, completes and commits.  The
+machine's structural limits appear as ``max`` terms on those timestamps:
+
+* **fetch** — at most ``fetch_width`` records per cycle; stalled after a
+  mispredicted branch until it resolves plus the refill penalty;
+* **dispatch** — one cycle after fetch; waits for a free RUU entry (the
+  RUU entry of the oldest in-flight instruction frees when it commits) and,
+  for memory ops, a free LSQ entry;
+* **issue** — waits for operands (the completion time of the producer
+  ``DEP`` records earlier) and a functional unit from the right pool;
+* **complete** — FU latency, or the memory hierarchy's answer for loads;
+* **commit** — in order, at most ``commit_width`` per cycle, not before
+  completion.
+
+Loads enter the cache at issue time, so cache/LSQ back-pressure (a stalled
+cache pipeline pushes the load's grant time out) directly delays completion
+and, through the RUU-full term, every subsequent instruction — the paper's
+"cache stalls (plus MSHR full) can temporarily stall the LSQ" behaviour.
+Stores write the cache at commit time (write buffer) without blocking
+commit, but their port/bus/MSHR traffic is real.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+from repro.cache.hierarchy import MemoryHierarchy
+from repro.core.config import CoreConfig
+from repro.isa.instr import FU_LATENCY, FU_POOL, Op
+from repro.kernel.module import Component
+from repro.kernel.resources import MultiPortResource
+
+#: Completion-history ring size for dependence lookups.
+_RING = 512
+
+
+@dataclass
+class CoreStats:
+    """Outcome of one simulated trace."""
+
+    instructions: int = 0
+    cycles: int = 0
+    loads: int = 0
+    stores: int = 0
+    branches: int = 0
+    mispredicts: int = 0
+    load_latency_total: int = 0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def ipc(self) -> float:
+        if not self.cycles:
+            return 0.0
+        return self.instructions / self.cycles
+
+    @property
+    def avg_load_latency(self) -> float:
+        if not self.loads:
+            return 0.0
+        return self.load_latency_total / self.loads
+
+
+class OoOCore(Component):
+    """Trace-driven out-of-order core bound to one memory hierarchy."""
+
+    def __init__(
+        self,
+        config: CoreConfig,
+        hierarchy: MemoryHierarchy,
+        name: str = "core",
+        parent: Optional[Component] = None,
+    ):
+        super().__init__(name, parent)
+        self.config = config
+        self.hierarchy = hierarchy
+        self.fu = {
+            "int_alu": MultiPortResource(config.int_alu),
+            "int_mul": MultiPortResource(config.int_mul),
+            "fp_alu": MultiPortResource(config.fp_alu),
+            "fp_mul": MultiPortResource(config.fp_mul),
+            "lsu": MultiPortResource(config.lsu),
+        }
+
+    def run(self, trace: Sequence, measure_from: int = 0) -> CoreStats:
+        """Simulate ``trace`` to completion; return the run's statistics.
+
+        ``measure_from`` marks the end of the warm-up window: IPC is
+        reported over instructions ``measure_from..end`` only (caches and
+        predictors stay warm across the boundary), the standard discipline
+        for short traces where cold misses would otherwise dominate.
+        """
+        cfg = self.config
+        hierarchy = self.hierarchy
+        load_op = int(Op.LOAD)
+        store_op = int(Op.STORE)
+        branch_op = int(Op.BRANCH)
+        latency = {int(op): lat for op, lat in FU_LATENCY.items()}
+        pool_of = {int(op): self.fu[pool] for op, pool in FU_POOL.items()}
+
+        fetch_cycle = 0
+        fetch_slots = 0
+        squash_until = 0
+        # Instruction-cache state: one lookup per fetched line, not per
+        # instruction — sequential fetch within a resident line is free.
+        icache_line_bits = hierarchy.l1i.line_bits
+        last_fetch_block = -1
+        ruu = deque()
+        lsq = deque()
+        ruu_size = cfg.ruu_size
+        lsq_size = cfg.lsq_size
+        fetch_width = cfg.fetch_width
+        commit_width = cfg.commit_width
+        penalty = cfg.mispredict_penalty
+        commit_cycle = 0
+        commit_slots = 0
+        ring = [0] * _RING
+        ring_pos = 0
+
+        stats = CoreStats()
+        n_loads = 0
+        n_stores = 0
+        n_branches = 0
+        n_mispredicts = 0
+        load_latency_total = 0
+        warmup_end_cycle = 0
+        index = 0
+
+        for record in trace:
+            if index == measure_from:
+                warmup_end_cycle = commit_cycle
+            index += 1
+            op, pc, addr, dep, extra = record
+
+            # Fetch: width-limited, squash-gated, instruction-cache-gated.
+            if squash_until > fetch_cycle:
+                fetch_cycle = squash_until
+                fetch_slots = 0
+            fetch_block = pc >> icache_line_bits
+            if fetch_block != last_fetch_block:
+                last_fetch_block = fetch_block
+                line_ready = hierarchy.fetch_instruction(pc, fetch_cycle)
+                if line_ready > fetch_cycle + 1:
+                    fetch_cycle = line_ready - 1
+                    fetch_slots = 0
+            if fetch_slots >= fetch_width:
+                fetch_cycle += 1
+                fetch_slots = 0
+            fetch_slots += 1
+
+            # Dispatch: decode bubble + RUU (and LSQ) availability.
+            dispatch = fetch_cycle + 1
+            if len(ruu) >= ruu_size:
+                oldest = ruu.popleft()
+                if oldest > dispatch:
+                    dispatch = oldest
+            is_mem = op == load_op or op == store_op
+            if is_mem and len(lsq) >= lsq_size:
+                oldest = lsq.popleft()
+                if oldest > dispatch:
+                    dispatch = oldest
+
+            # Operand readiness through the completion ring.
+            ready = dispatch
+            if dep and dep < _RING:
+                producer = ring[(ring_pos - dep) % _RING]
+                if producer > ready:
+                    ready = producer
+
+            # Issue: functional unit from the right pool.
+            start = pool_of[op].acquire(ready)
+
+            # Complete.
+            if op == load_op:
+                complete = hierarchy.load(pc, addr, start)
+                load_latency_total += complete - start
+                n_loads += 1
+            else:
+                complete = start + latency[op]
+                if op == store_op:
+                    n_stores += 1
+                elif op == branch_op:
+                    n_branches += 1
+                    if extra:
+                        n_mispredicts += 1
+                        resolve = complete
+                        if squash_until < resolve + penalty:
+                            squash_until = resolve + penalty
+
+            # Commit: in order, width-limited.
+            commit = complete + 1
+            if commit > commit_cycle:
+                commit_cycle = commit
+                commit_slots = 1
+            else:
+                commit_slots += 1
+                if commit_slots > commit_width:
+                    commit_cycle += 1
+                    commit_slots = 1
+                commit = commit_cycle
+
+            if op == store_op:
+                # The write buffer performs the store after commit.
+                hierarchy.store(pc, addr, extra, commit)
+
+            ruu.append(commit)
+            if is_mem:
+                lsq.append(commit)
+            ring[ring_pos] = complete
+            ring_pos = (ring_pos + 1) % _RING
+            stats.instructions += 1
+
+        if measure_from and stats.instructions > measure_from:
+            stats.instructions -= measure_from
+            stats.cycles = commit_cycle - warmup_end_cycle
+        else:
+            stats.cycles = commit_cycle if stats.instructions else 0
+        stats.loads = n_loads
+        stats.stores = n_stores
+        stats.branches = n_branches
+        stats.mispredicts = n_mispredicts
+        stats.load_latency_total = load_latency_total
+        return stats
+
+    def reset(self) -> None:
+        for pool in self.fu.values():
+            pool.reset()

@@ -1,0 +1,33 @@
+"""Main-memory models.
+
+The paper contrasts three memory models (Section 3.3, Figure 8):
+
+* the SimpleScalar-style **constant-latency** memory (70 cycles, unlimited
+  bandwidth) used by most of the original mechanism articles;
+* a detailed **SDRAM** with 4 banks, open rows and the Table 1 timings
+  (~170-cycle typical latency);
+* a **scaled SDRAM** whose average latency matches the 70-cycle constant
+  model, isolating the effect of *contention* from the effect of *latency*.
+
+All three implement the same ``access(addr, time, is_write) -> ready_time``
+protocol consumed by :class:`repro.cache.hierarchy.MemoryHierarchy`.
+"""
+
+from repro.dram.constant import ConstantLatencyMemory
+from repro.dram.controller import SDRAMController
+from repro.dram.sdram import SDRAM, BankState
+from repro.dram.scheduling import (
+    LINEAR_INTERLEAVE,
+    PERMUTATION_INTERLEAVE,
+    AddressMapping,
+)
+
+__all__ = [
+    "AddressMapping",
+    "BankState",
+    "ConstantLatencyMemory",
+    "LINEAR_INTERLEAVE",
+    "PERMUTATION_INTERLEAVE",
+    "SDRAM",
+    "SDRAMController",
+]

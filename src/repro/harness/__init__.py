@@ -1,0 +1,46 @@
+"""Experiment harness: one driver per paper figure/table.
+
+Each ``fig*``/``table*`` function reproduces one exhibit of the paper's
+evaluation (see DESIGN.md's experiment index) and returns a result object
+whose ``render()`` prints the same rows/series the paper reports.  Sweeps
+are cached per configuration within the process, so experiments that share
+the Figure 4 grid (Figures 5-7, Tables 6-7) pay for it once.
+"""
+
+from repro.harness.experiments import (
+    ExperimentResult,
+    fig1_model_validation,
+    fig2_reveng_error,
+    fig3_dbcp_fix,
+    fig4_speedup,
+    fig5_cost_power,
+    fig6_sensitivity,
+    fig7_sensitivity_subsets,
+    fig8_memory_model,
+    fig9_mshr,
+    fig10_second_guessing,
+    fig11_trace_selection,
+    main_sweep,
+    table5_prior_comparisons,
+    table6_subset_winners,
+    table7_selection_ranking,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "fig1_model_validation",
+    "fig2_reveng_error",
+    "fig3_dbcp_fix",
+    "fig4_speedup",
+    "fig5_cost_power",
+    "fig6_sensitivity",
+    "fig7_sensitivity_subsets",
+    "fig8_memory_model",
+    "fig9_mshr",
+    "fig10_second_guessing",
+    "fig11_trace_selection",
+    "main_sweep",
+    "table5_prior_comparisons",
+    "table6_subset_winners",
+    "table7_selection_ranking",
+]

@@ -1,0 +1,47 @@
+"""The full mechanism x benchmark speedup matrix.
+
+The paper's figures are all projections of one underlying grid: 13
+configurations x 26 benchmarks.  This module renders the grid itself —
+the artifact a reader needs to check any projection, and the closest thing
+to the online ranking the MicroLib website maintained.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.simulation import DEFAULT_INSTRUCTIONS
+from repro.harness.experiments import ExperimentResult, main_sweep
+from repro.mechanisms.registry import ALL_MECHANISMS, BASELINE
+from repro.workloads.registry import ALL_BENCHMARKS
+
+
+def speedup_matrix(
+    benchmarks: Sequence[str] = ALL_BENCHMARKS,
+    n_instructions: int = DEFAULT_INSTRUCTIONS,
+) -> ExperimentResult:
+    """One row per mechanism: per-benchmark speedups plus the mean."""
+    results = main_sweep(benchmarks=benchmarks, n_instructions=n_instructions)
+    rows = []
+    for mechanism in results.mechanisms:
+        if mechanism == BASELINE:
+            continue
+        row = {"mechanism": mechanism}
+        row.update({
+            benchmark: results.speedup(mechanism, benchmark)
+            for benchmark in results.benchmarks
+        })
+        row["MEAN"] = results.mean_speedup(mechanism)
+        rows.append(row)
+    base_row = {"mechanism": "Base(IPC)"}
+    base_row.update({
+        benchmark: results.ipc(BASELINE, benchmark)
+        for benchmark in results.benchmarks
+    })
+    rows.append(base_row)
+    return ExperimentResult(
+        exhibit="Matrix",
+        title="Full speedup matrix (all mechanisms x all benchmarks)",
+        rows=rows,
+        notes="the grid every figure projects; final row is baseline IPC",
+    )

@@ -1,0 +1,244 @@
+"""Assemble EXPERIMENTS.md from the bench outputs.
+
+``pytest benchmarks/ --benchmark-only`` writes each exhibit's rendered rows
+to ``benchmarks/out/``; this module combines them with the hand-maintained
+paper-expectation notes into the repository's EXPERIMENTS.md.  Run::
+
+    python -m repro.harness.report [--out EXPERIMENTS.md]
+
+so the paper-vs-measured record is always regenerable from a fresh bench
+run rather than hand-transcribed.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+from typing import List, Optional
+
+#: (output-file stem, paper claim, agreement notes).  The third column is
+#: the honest part: where the shape matches, where it deviates, and why.
+EXHIBITS = [
+    ("table_1",
+     "The baseline machine every experiment shares (a scaled-up "
+     "superscalar whose parameters several of the original articles also "
+     "used).",
+     "Reproduced field for field, printed from the live configuration."),
+    ("table_2",
+     "The twelve mechanisms collected from four years of "
+     "ISCA/MICRO/ASPLOS/HPCA.",
+     "All twelve implemented; see docs/mechanisms.md."),
+    ("table_3",
+     "Per-mechanism configuration (table sizes, request queues).",
+     "Printed from the instantiated mechanisms, so the table cannot drift "
+     "from the implementation; all Table 3 values reproduced."),
+    ("table_4",
+     "Which SPEC benchmarks each validated mechanism's article used.",
+     "The check-mark positions for DBCP (5) and GHB (12) are illegible in "
+     "the source scan; documented stand-in selections with the right "
+     "counts are used (repro/workloads/registry.py)."),
+    ("figure_1",
+     "Average 6.8% IPC difference between the MicroLib cache model and "
+     "original SimpleScalar, dropping to 2% once the SimpleScalar model is "
+     "aligned (finite MSHR, pipeline stalls, LSQ back-pressure, refill "
+     "ports).",
+     "Shape holds: the imprecise model is consistently optimistic.  Our "
+     "average gap is larger than 6.8% because the synthetic workloads are "
+     "more memory-intense per instruction than SPEC at this scale, so the "
+     "precision features bind more often."),
+    ("figure_2",
+     "Average 5% speedup error between the reverse-engineered TK/TCP/TKVC "
+     "and the graphs in their articles; tendencies usually preserved but "
+     "sign flips occur (gcc/gzip for TK).",
+     "Shape holds: plausibly-misread builds diverge from the reference by "
+     "a few percent on average with much larger per-benchmark outliers."),
+    ("figure_3",
+     "The authors' initial DBCP was 38% off their fixed build (aliasing "
+     "from unprehashed signatures, half-size table, no confidence decay); "
+     "fixed DBCP outperforms TK, reversing the TK article's published "
+     "ranking.",
+     "Direction holds: the initial build is measurably worse than the "
+     "fixed one and fixed DBCP >= TK.  The magnitude is far below 38%: at "
+     "10^4-scale traces DBCP's per-line signatures see too few "
+     "generations to separate the builds strongly (see the scale "
+     "ablation)."),
+    ("figure_4",
+     "GHB best (HPCA 2004 evolution of SP), SP second, TK third; TP (1982) "
+     "performs remarkably well; FVC disappoints under IPC; CDP poor on "
+     "average; progress 1982-2004 is strikingly irregular.",
+     "The headline structure holds: a next-line/stride prefetcher family "
+     "tops the ranking, GHB is in the top two, Markov/DBCP/CDP sit in the "
+     "bottom half, and 1982's TP outranks several 2001-2003 mechanisms "
+     "(the irregular-progress observation, amplified).  Deviation: TP "
+     "edges out GHB for first place — at short traces the L2 never "
+     "develops capacity pressure, so TP's speculative fills are never "
+     "punished by evictions as they are at SPEC scale.  TK and TCP are "
+     "neutral rather than mid-pack positive: their timekeeping/tag "
+     "statistics need orders of magnitude more cycles to pay off."),
+    ("figure_5",
+     "Markov and DBCP cost several times the base cache area (1 MB / 2 MB "
+     "tables); TP/SP/GHB nearly free; GHB power-hungry despite small "
+     "tables (repeated walks, 4 requests per miss); SP the best overall "
+     "performance/cost/power trade-off.",
+     "Shape holds throughout: Markov and DBCP are the area/power "
+     "extremes, GHB burns more power than SP at similar area, and SP "
+     "pairs top-tier speedup with near-zero cost."),
+    ("table_5",
+     "Original articles rarely compare beyond one or two prior mechanisms "
+     "and mostly when compulsory (GHB vs SP).",
+     "Static data, reproduced as given."),
+    ("table_6",
+     "Every selection size up to 23 has more than one possible winner; "
+     "FVC can win selections up to 12 benchmarks, Markov up to 9.",
+     "Shape holds: many distinct winners at small sizes, multiple "
+     "possible winners persisting past half the suite, exactly one winner "
+     "for all 26.  Our witness search is a lower bound (a heuristic "
+     "cherry-picker), so counts are conservative."),
+    ("table_7",
+     "DBCP: 9th over all 26 benchmarks, 3rd on its article's selection; "
+     "GHB: 1st over all, 2nd on its own (overtaken by SP).",
+     "Direction holds for the headline instability (rankings move between "
+     "selections; several mechanisms shift multiple places).  Deviation: "
+     "our DBCP is too weak overall for a 6-place jump on its selection — "
+     "it sits in a near-tied cluster around 1.0 where single ranks are "
+     "noise."),
+    ("figure_6",
+     "Benchmark sensitivity varies enormously: wupwise, bzip2, crafty, "
+     "eon, perlbmk, vortex barely react; apsi, equake, fma3d, mgrid, "
+     "swim, gap dominate any assessment.",
+     "Shape holds: the designed high-sensitivity six land in the top "
+     "half, the low-sensitivity six toward the bottom, with an "
+     "order-of-magnitude spread between extremes."),
+    ("figure_7",
+     "Measured on the 6 most sensitive benchmarks, absolute speedups and "
+     "ranking change severely; on the 6 least sensitive, mechanisms are "
+     "nearly indistinguishable.",
+     "Shape holds: the high-sensitivity subset roughly doubles the best "
+     "apparent gain, the low-sensitivity subset flattens everything."),
+    ("figure_8",
+     "Moving from the 70-cycle constant memory to the detailed SDRAM cuts "
+     "speedups ~58% on average (59.9% for the scaled SDRAM-70); GHB loses "
+     "more than SP (18.7% vs 2.8% of its speedup); average SDRAM latency "
+     "ranges 87 (gzip) to 389 (lucas) cycles; rank flips occur (DBCP vs "
+     "VC/TKVC).",
+     "Shape holds: large average reduction under SDRAM, GHB's absolute "
+     "loss exceeding SP's, and a wide per-benchmark latency range with "
+     "lucas near the top.  Deviation: our gzip's dictionary misses go to "
+     "DRAM with shuffled rows, so gzip is not the low-latency extreme it "
+     "is in the paper."),
+    ("figure_9",
+     "The MSHR has a limited but peculiar effect; it can affect ranking "
+     "(TCP beat TK with an infinite MSHR but not with a finite one).",
+     "Shape holds: effects are small and mostly favour the infinite MSHR "
+     "for prefetch-heavy mechanisms (their fills are never dropped for "
+     "lack of an MSHR), which is the paper's direction of distortion."),
+    ("figure_10",
+     "TCP's unstated prefetch-queue size (1 vs 128): negligible for "
+     "crafty/eon, dramatic for lucas/mgrid/art; a large buffer seizes the "
+     "bus and delays normal misses.",
+     "Shape holds: per-benchmark differences span negligible to visible "
+     "and move in both directions; the low-sensitivity benchmarks are "
+     "unaffected.  Magnitudes are smaller than the paper's because our "
+     "TCP fires less often at this scale."),
+    ("figure_11",
+     "Arbitrary skip-and-simulate windows vs SimPoint selection differ "
+     "significantly; most mechanisms look better on arbitrary windows "
+     "(TP the notable exception).",
+     "Shape holds: the two selections disagree and the majority of "
+     "mechanisms benefit from the arbitrary window's over-sampling of the "
+     "initialisation phase."),
+    ("ablation_dram",
+     "(design-choice ablation, not a paper exhibit) The paper retained a "
+     "conflict-reducing bank-interleaving scheme and an open-row "
+     "controller.",
+     "Permutation interleaving dominates linear everywhere.  The page "
+     "policy trades both ways: open page wins on row-friendly streams, "
+     "eager precharge wins on the row-hostile lucas — our suite is more "
+     "row-hostile than SPEC, so Table 1's open-page choice is less "
+     "clear-cut here."),
+    ("ablation_prefetch_throttle",
+     "(design-choice ablation) Section 3.4's 'prefetches wait until the "
+     "bus is idle' policy.",
+     "Removing the throttle adds memory traffic without improving "
+     "memory-bound results — the policy the paper assumes is the right "
+     "default."),
+    ("ablation_scale",
+     "(reproduction-methodology ablation) DESIGN.md scales traces ~10^4x.",
+     "Streaming-prefetcher claims are stable across 2-8x length changes; "
+     "correlation mechanisms and CDP drift with scale, which bounds how "
+     "literally per-mechanism magnitudes should be read."),
+    ("ablation_sampling",
+     "(methodology extension) The paper cites SMARTS as the rigorous "
+     "sampling alternative to arbitrary windows (Section 3.5).",
+     "Eight systematic windows with warm-up prefixes estimate full-trace "
+     "IPC within tens of percent at this scale — the same order as the "
+     "15-18% the paper quotes for SimPoint at full scale — with a "
+     "reported confidence interval."),
+    ("matrix",
+     "(underlying data) The 13-configuration x 26-benchmark grid every "
+     "figure projects — the analogue of the ranking the MicroLib site "
+     "maintained.",
+     "Saved in full so any projection in this file can be re-derived."),
+    ("extension_library",
+     "(library extension) Section 4's populate-the-library goal; the "
+     "paper also names eager writeback as collected-but-unevaluable for "
+     "lack of bandwidth-bound benchmarks.",
+     "Both extensions behave as their articles claim on this substrate: "
+     "stream buffers cover streaming; eager writeback helps the "
+     "bandwidth-bound swim/lucas and is harmless on cache-resident "
+     "code — the evaluation the original study could not run."),
+]
+
+HEADER = """\
+# EXPERIMENTS — paper vs. measured
+
+Every figure and table of the paper's evaluation (Sections 2-3), what the
+paper reports, what this reproduction measures, and an honest account of
+where the shapes agree and deviate.  Regenerate the measured rows with::
+
+    pytest benchmarks/ --benchmark-only        # writes benchmarks/out/
+    python -m repro.harness.report             # rebuilds this file
+
+Measured rows below come from ``benchmarks/out/`` (all 26 benchmarks,
+{n} instructions per simulation, the Table 1 machine).  Absolute numbers
+are not comparable to the paper's (different ISA, synthetic workloads,
+~10^4x shorter traces); the reproduction target is the *shape*: who wins,
+which direction each methodology choice moves results, where crossovers
+fall.  See DESIGN.md for the substitution table and the simulation
+approach.
+"""
+
+
+def build_report(out_dir: Path, n_instructions: Optional[str] = None) -> str:
+    chunks: List[str] = [HEADER.format(n=n_instructions or "REPRO_BENCH_N")]
+    for stem, paper, verdict in EXHIBITS:
+        path = out_dir / f"{stem}.txt"
+        chunks.append("\n---\n")
+        if path.exists():
+            measured = path.read_text().rstrip()
+            title_line = measured.splitlines()[0].strip("= ")
+            chunks.append(f"## {title_line}\n")
+        else:
+            measured = "(not yet measured: run the benches)"
+            chunks.append(f"## {stem}\n")
+        chunks.append(f"**Paper:** {paper}\n")
+        chunks.append(f"**Agreement:** {verdict}\n")
+        chunks.append("**Measured:**\n\n```\n" + measured + "\n```\n")
+    return "\n".join(chunks)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="EXPERIMENTS.md")
+    parser.add_argument("--bench-out", default="benchmarks/out")
+    parser.add_argument("--n", default="30000",
+                        help="instructions per simulation used in the run")
+    args = parser.parse_args(argv)
+    text = build_report(Path(args.bench_out), args.n)
+    Path(args.out).write_text(text)
+    print(f"wrote {args.out} from {args.bench_out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

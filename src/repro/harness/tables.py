@@ -1,0 +1,135 @@
+"""Renderers for the paper's configuration tables (Tables 1-4).
+
+Tables 1-4 are setup rather than results — the machine, the mechanism
+catalogue, the mechanism parameters, and the benchmarks each article used —
+but a reproduction should be able to *print its own configuration* in the
+paper's format so a reader can diff it against the original at a glance.
+Each function returns an :class:`repro.harness.experiments.ExperimentResult`
+whose rows mirror the corresponding table.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.config import baseline_config
+from repro.core.simulation import build_machine
+from repro.harness.experiments import ExperimentResult
+from repro.mechanisms.registry import ALL_MECHANISMS, BASELINE, create, mechanism_info
+from repro.workloads.registry import ALL_BENCHMARKS, ARTICLE_SELECTIONS
+
+
+def table1_configuration() -> ExperimentResult:
+    """Table 1: the baseline machine, field by field."""
+    config = baseline_config()
+    core, l1d, l2, sdram = config.core, config.l1d, config.l2, config.sdram
+    rows = [
+        {"group": "core", "parameter": "instruction window",
+         "value": f"{core.ruu_size}-RUU, {core.lsq_size}-LSQ"},
+        {"group": "core", "parameter": "fetch/issue/commit width",
+         "value": f"{core.fetch_width}/{core.issue_width}/{core.commit_width}"},
+        {"group": "core", "parameter": "functional units",
+         "value": f"{core.int_alu} IntALU, {core.int_mul} IntMult/Div, "
+                  f"{core.fp_alu} FPALU, {core.fp_mul} FPMult/Div, "
+                  f"{core.lsu} Load/Store"},
+        {"group": "l1d", "parameter": "geometry",
+         "value": f"{l1d.size >> 10} KB / {l1d.assoc}-way / "
+                  f"{l1d.line_size} B lines"},
+        {"group": "l1d", "parameter": "ports/MSHRs/reads-per-MSHR",
+         "value": f"{l1d.ports}/{l1d.mshr_entries}/{l1d.mshr_reads}"},
+        {"group": "l1d", "parameter": "policy",
+         "value": "writeback, allocate on write, 1-cycle latency"},
+        {"group": "l1i", "parameter": "geometry",
+         "value": f"{config.l1i.size >> 10} KB / {config.l1i.assoc}-way"},
+        {"group": "l2", "parameter": "geometry",
+         "value": f"{l2.size >> 20} MB / {l2.assoc}-way / "
+                  f"{l2.line_size} B lines, {l2.latency}-cycle latency"},
+        {"group": "bus", "parameter": "L1/L2 and memory bus",
+         "value": f"{config.l1_l2_bus.width_bytes} B @ core clock; "
+                  f"{config.memory_bus.width_bytes} B @ 400 MHz "
+                  f"({config.memory_bus.cpu_cycles_per_transfer} CPU "
+                  f"cycles/beat)"},
+        {"group": "sdram", "parameter": "geometry",
+         "value": f"{sdram.banks} banks x {sdram.rows} rows x "
+                  f"{sdram.columns} cols, {sdram.queue_entries}-entry queue"},
+        {"group": "sdram", "parameter": "timing (CPU cycles)",
+         "value": f"tRCD {sdram.ras_to_cas}, CL {sdram.cas_latency}, "
+                  f"tRP {sdram.ras_precharge}, tRAS {sdram.ras_active}, "
+                  f"tRC {sdram.ras_cycle}, RAS-to-RAS {sdram.ras_to_ras}"},
+    ]
+    return ExperimentResult(
+        exhibit="Table 1", title="Baseline configuration", rows=rows,
+        notes="matches the paper's Table 1 field for field",
+    )
+
+
+def table2_mechanisms() -> ExperimentResult:
+    """Table 2: the mechanism catalogue."""
+    rows = []
+    for name in ALL_MECHANISMS:
+        if name == BASELINE:
+            continue
+        info = mechanism_info(name)
+        rows.append({
+            "acronym": name,
+            "level": info.level.upper(),
+            "year": info.year,
+            "description": info.description,
+        })
+    return ExperimentResult(
+        exhibit="Table 2", title="Target data cache optimizations",
+        rows=rows, summary={"n_mechanisms": float(len(rows))},
+    )
+
+
+def table3_parameters() -> ExperimentResult:
+    """Table 3: per-mechanism configuration, read from the live objects."""
+    rows: List[Dict] = []
+    for name in ALL_MECHANISMS:
+        if name == BASELINE:
+            continue
+        mechanism = create(name)
+        build_machine(mechanism=mechanism)  # resolve cache-dependent sizes
+        structures = ", ".join(
+            f"{spec.name}={spec.size_bytes}B"
+            for spec in mechanism.structures()
+        )
+        if mechanism.queue is not None:
+            queue = mechanism.queue.capacity
+        else:
+            # Composites (CDPSP) expose their sub-queues; capture-style
+            # mechanisms have none.
+            queues = [q.capacity for q in mechanism.iter_queues()]
+            queue = "/".join(str(q) for q in queues) if queues else "-"
+        rows.append({
+            "acronym": name,
+            "request_queue": queue,
+            "structures": structures,
+        })
+    return ExperimentResult(
+        exhibit="Table 3", title="Configuration of cache optimizations",
+        rows=rows,
+        notes="sizes are read from the instantiated mechanisms, so this "
+              "table cannot drift from the implementation",
+    )
+
+
+def table4_benchmarks() -> ExperimentResult:
+    """Table 4: benchmarks used by each validated mechanism's article."""
+    rows = []
+    for mechanism, selection in ARTICLE_SELECTIONS.items():
+        rows.append({
+            "mechanism": mechanism,
+            "n_benchmarks": len(selection),
+            "benchmarks": ",".join(selection) if len(selection) < 26
+                          else "(all 26)",
+        })
+    return ExperimentResult(
+        exhibit="Table 4", title="Benchmarks used in validated mechanisms",
+        rows=rows,
+        summary={"n_suite": float(len(ALL_BENCHMARKS))},
+        notes="the printed table in the source paper does not legibly mark "
+              "which columns carry DBCP's 5 and GHB's 12 check marks; these "
+              "selections are documented stand-ins (see "
+              "repro/workloads/registry.py)",
+    )

@@ -1,0 +1,33 @@
+"""Instruction-set abstractions shared by workloads, traces and the core."""
+
+from repro.isa.instr import (
+    ADDR,
+    DEP,
+    EXTRA,
+    OP,
+    PC,
+    FU_LATENCY,
+    FU_POOL,
+    MEM_OPS,
+    Op,
+    make_branch,
+    make_load,
+    make_op,
+    make_store,
+)
+
+__all__ = [
+    "ADDR",
+    "DEP",
+    "EXTRA",
+    "FU_LATENCY",
+    "FU_POOL",
+    "MEM_OPS",
+    "OP",
+    "Op",
+    "PC",
+    "make_branch",
+    "make_load",
+    "make_op",
+    "make_store",
+]

@@ -1,0 +1,95 @@
+"""Compact trace-record format and operation metadata.
+
+The simulator consumes *traces*: sequences of instruction records.  For
+speed, a record is a plain 5-tuple of ints rather than an object; the index
+constants :data:`OP`, :data:`PC`, :data:`ADDR`, :data:`DEP` and :data:`EXTRA`
+name the fields.
+
+Fields
+------
+``OP``
+    Operation class (:class:`Op` value).
+``PC``
+    Instruction address.  Used by PC-indexed mechanisms (stride prefetcher,
+    GHB index table, DBCP signatures) and by basic-block-vector extraction.
+``ADDR``
+    Effective byte address for loads and stores, 0 otherwise.
+``DEP``
+    Data-dependence distance: this instruction reads the result of the
+    record ``DEP`` positions earlier (0 = no tracked dependence).  The
+    out-of-order core uses it to bound instruction-level parallelism, which
+    is what lets a load miss at the head of a dependence chain serialize the
+    pipeline exactly as in a register-accurate model.
+``EXTRA``
+    For stores: the value written (feeds the functional memory image used by
+    FVC and CDP).  For branches: 1 when the branch is mispredicted (the
+    front-end squashes and refetches after the branch resolves).  0
+    otherwise.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+from typing import Tuple
+
+OP, PC, ADDR, DEP, EXTRA = range(5)
+
+Record = Tuple[int, int, int, int, int]
+
+
+class Op(IntEnum):
+    """Operation classes, mirroring SimpleScalar's functional-unit classes."""
+
+    INT_ALU = 0
+    INT_MUL = 1
+    FP_ALU = 2
+    FP_MUL = 3
+    LOAD = 4
+    STORE = 5
+    BRANCH = 6
+
+
+#: Execution latency (cycles) per op class; loads get theirs from the cache.
+FU_LATENCY = {
+    Op.INT_ALU: 1,
+    Op.INT_MUL: 3,
+    Op.FP_ALU: 2,
+    Op.FP_MUL: 4,
+    Op.LOAD: 1,  # address generation; memory latency added by the hierarchy
+    Op.STORE: 1,
+    Op.BRANCH: 1,
+}
+
+#: Functional-unit pool each op class issues to.  Loads and stores share the
+#: load/store units; branches execute on the integer ALUs.
+FU_POOL = {
+    Op.INT_ALU: "int_alu",
+    Op.INT_MUL: "int_mul",
+    Op.FP_ALU: "fp_alu",
+    Op.FP_MUL: "fp_mul",
+    Op.LOAD: "lsu",
+    Op.STORE: "lsu",
+    Op.BRANCH: "int_alu",
+}
+
+MEM_OPS = (int(Op.LOAD), int(Op.STORE))
+
+
+def make_op(op: Op, pc: int, dep: int = 0) -> Record:
+    """Build a non-memory, non-branch record."""
+    return (int(op), pc, 0, dep, 0)
+
+
+def make_load(pc: int, addr: int, dep: int = 0) -> Record:
+    """Build a load record for effective address ``addr``."""
+    return (int(Op.LOAD), pc, addr, dep, 0)
+
+
+def make_store(pc: int, addr: int, value: int = 0, dep: int = 0) -> Record:
+    """Build a store record writing ``value`` to ``addr``."""
+    return (int(Op.STORE), pc, addr, dep, value)
+
+
+def make_branch(pc: int, mispredicted: bool = False, dep: int = 0) -> Record:
+    """Build a branch record; mispredicted branches squash the front-end."""
+    return (int(Op.BRANCH), pc, 0, dep, 1 if mispredicted else 0)

@@ -1,0 +1,26 @@
+"""Simulation kernel: the MicroLib component model and timing primitives.
+
+The original MicroLib is a library of SystemC modules.  This package provides
+the Python equivalent: a :class:`Component` base class with named ports and
+hierarchical statistics, an event :class:`Simulator` for deferred callbacks,
+and *timestamp-algebra* resource primitives (:class:`MultiPortResource`,
+:class:`PipelinedResource`, :class:`Bus`) that model contention by reserving
+cycle timestamps instead of ticking every cycle.  The latter is what makes a
+cycle-level study of 13 mechanisms x 26 benchmarks feasible in pure Python
+(see DESIGN.md section 5).
+"""
+
+from repro.kernel.engine import Event, Simulator
+from repro.kernel.module import Component, Port, StatCounter
+from repro.kernel.resources import Bus, MultiPortResource, PipelinedResource
+
+__all__ = [
+    "Bus",
+    "Component",
+    "Event",
+    "MultiPortResource",
+    "PipelinedResource",
+    "Port",
+    "Simulator",
+    "StatCounter",
+]

@@ -1,0 +1,123 @@
+"""Discrete-event scheduler.
+
+Most of the memory-system timing in this library is computed synchronously
+with timestamp algebra (see :mod:`repro.kernel.resources`), but a few things
+are naturally deferred callbacks: MSHR entry release, write-buffer drains,
+prefetch-queue retirement.  The :class:`Simulator` provides a conventional
+heap-based event queue for those.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional, Tuple
+
+
+class Event:
+    """A scheduled callback.
+
+    Events compare by ``(time, sequence)`` so simultaneous events fire in
+    scheduling order, which keeps runs deterministic.
+    """
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: int, seq: int, fn: Callable, args: Tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark the event so it is skipped when its time arrives."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = " cancelled" if self.cancelled else ""
+        return f"<Event t={self.time} #{self.seq}{state} {self.fn!r}>"
+
+
+class Simulator:
+    """Heap-based discrete-event simulator with integer cycle time.
+
+    >>> sim = Simulator()
+    >>> fired = []
+    >>> _ = sim.schedule(10, fired.append, "a")
+    >>> _ = sim.schedule(5, fired.append, "b")
+    >>> sim.run()
+    >>> fired
+    ['b', 'a']
+    >>> sim.now
+    10
+    """
+
+    def __init__(self) -> None:
+        self._queue: List[Event] = []
+        self._seq = itertools.count()
+        self.now: int = 0
+
+    def schedule(self, time: int, fn: Callable, *args: Any) -> Event:
+        """Schedule ``fn(*args)`` at absolute cycle ``time``.
+
+        Scheduling in the past is clamped to *now*: the caller computed a
+        completion timestamp that has already been passed by the driving
+        clock, so the effect is immediate at the next drain.
+        """
+        if time < self.now:
+            time = self.now
+        event = Event(time, next(self._seq), fn, args)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_in(self, delay: int, fn: Callable, *args: Any) -> Event:
+        """Schedule ``fn(*args)`` ``delay`` cycles from now."""
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        return self.schedule(self.now + delay, fn, *args)
+
+    @property
+    def pending(self) -> int:
+        """Number of not-yet-fired (possibly cancelled) events."""
+        return len(self._queue)
+
+    def peek_time(self) -> Optional[int]:
+        """Time of the next live event, or ``None`` when the queue is empty."""
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        if not self._queue:
+            return None
+        return self._queue[0].time
+
+    def run_until(self, time: int) -> None:
+        """Fire every event scheduled at or before ``time``; advance *now*.
+
+        *now* ends at ``time`` even if the queue drains earlier, so resource
+        models can rely on it as the driving clock's current cycle.
+        """
+        while self._queue and self._queue[0].time <= time:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            event.fn(*event.args)
+        if time > self.now:
+            self.now = time
+
+    def run(self) -> None:
+        """Fire all pending events."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            event.fn(*event.args)
+
+    def reset(self) -> None:
+        """Drop all pending events and rewind the clock to cycle 0."""
+        self._queue.clear()
+        self.now = 0

@@ -1,0 +1,49 @@
+"""TP — Tagged Prefetching (Smith, 1982).  L2, Table 3: queue 16.
+
+One of the very first prefetching techniques: on a miss, prefetch the next
+sequential line; on the first demand hit to a *prefetched* line (the "tag"
+bit), prefetch the next line again.  The tag bit is what keeps a sequential
+stream exactly one line ahead without flooding on random traffic.
+
+Despite its age the paper finds TP performs "quite well", and — once CACTI
+cost is factored in (Figure 5) — looks like one of the most attractive
+mechanisms, a centrepiece of the "are we making progress?" discussion.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.mechanisms.base import Mechanism, StructureSpec
+
+
+class TaggedPrefetcher(Mechanism):
+    """Next-line prefetch on miss or on first hit to a prefetched line."""
+
+    LEVEL = "l2"
+    ACRONYM = "TP"
+    YEAR = 1982
+    QUEUE_SIZE = 16
+
+    def _prefetch_next(self, block: int, time: int) -> None:
+        self.count_table_access()
+        target = self.cache.addr_of(block + 1)
+        if not self.cache.contains(target):
+            self.emit_prefetch(target, time)
+
+    def on_miss(self, pc: int, block: int, time: int) -> None:
+        self._prefetch_next(block, time)
+
+    def on_access(
+        self, pc: int, block: int, hit: bool, was_prefetched: bool, time: int
+    ) -> None:
+        if hit and was_prefetched:
+            self._prefetch_next(block, time)
+
+    def structures(self) -> List[StructureSpec]:
+        # One tag bit per L2 line plus the request queue.
+        n_lines = self.cache.config.n_lines if self.cache else (1 << 20) // 64
+        return [
+            StructureSpec("tp_tag_bits", size_bytes=n_lines // 8),
+            StructureSpec("tp_request_queue", size_bytes=self.QUEUE_SIZE * 8),
+        ]

@@ -1,0 +1,26 @@
+"""Trace selection: windows, basic-block vectors and SimPoint.
+
+Section 3.5 of the paper compares the common "skip N, simulate M" practice
+against SimPoint-selected traces and finds the choice alone can flip
+research conclusions.  This package implements both:
+
+* :func:`repro.trace.sampling.window` — the arbitrary skip-and-simulate
+  slice;
+* :mod:`repro.trace.bbv` — basic-block-vector extraction over fixed
+  instruction intervals;
+* :mod:`repro.trace.simpoint` — k-means clustering of BBVs (Sherwood et
+  al.'s algorithm, numpy implementation) and representative-interval
+  selection.
+"""
+
+from repro.trace.bbv import basic_block_vectors
+from repro.trace.sampling import window
+from repro.trace.simpoint import SimPointResult, pick_simpoint, simpoint_trace
+
+__all__ = [
+    "SimPointResult",
+    "basic_block_vectors",
+    "pick_simpoint",
+    "simpoint_trace",
+    "window",
+]

@@ -1,0 +1,28 @@
+"""Arbitrary trace windows — the "skip 1 billion, simulate 2 billion" habit.
+
+"Most researchers tend to skip an arbitrary (usually large) number of
+instructions in a trace, then simulate the largest possible program chunk"
+(Section 3.5).  :func:`window` is that practice, scaled.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def window(trace: Sequence, skip: int, length: int) -> List:
+    """Return ``trace[skip : skip + length]`` with bounds checking.
+
+    When the trace is too short for the requested window, the window is
+    shifted back (never truncated silently) so experiments always compare
+    equal-length slices.
+    """
+    if skip < 0 or length <= 0:
+        raise ValueError(f"invalid window skip={skip} length={length}")
+    if length > len(trace):
+        raise ValueError(
+            f"window length {length} exceeds trace length {len(trace)}"
+        )
+    if skip + length > len(trace):
+        skip = len(trace) - length
+    return list(trace[skip:skip + length])

@@ -1,0 +1,37 @@
+"""Execute-driven validation — the OoOSysC idea (paper Section 2.2).
+
+The original MicroLib validated its cache models by plugging them into
+OoOSysC, a processor model that "actually performs all computations": the
+cache holds real data values, so any protocol bug — a dirty bit not set, a
+writeback dropped, a stale line served — eventually surfaces as a load
+returning the *wrong value*.  "Confronting the emulator with the simulator
+for every memory request is a simple but powerful debugging tool."
+
+This package provides that tool for this library:
+
+* :class:`FunctionalHierarchy` — a value-carrying two-level writeback
+  cache (same geometry and nominal policies as the timing model, no
+  timing) that really executes loads and stores;
+* :func:`run_value_check` — drives a trace through it while comparing
+  every load against a program-order emulator; any divergence is reported
+  with the full provenance;
+* fault injection (:class:`FaultInjector`) — deliberately break the
+  protocol (drop a dirty bit, skip a writeback, serve a stale fill) and
+  confirm the checker catches it, reproducing the paper's debugging story.
+"""
+
+from repro.validation.funcsim import (
+    FaultInjector,
+    FunctionalCache,
+    FunctionalHierarchy,
+    ValueMismatch,
+    run_value_check,
+)
+
+__all__ = [
+    "FaultInjector",
+    "FunctionalCache",
+    "FunctionalHierarchy",
+    "ValueMismatch",
+    "run_value_check",
+]

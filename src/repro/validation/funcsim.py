@@ -1,0 +1,298 @@
+"""Value-carrying functional cache hierarchy and the load-value checker.
+
+The functional model executes the same protocol the timing model enforces —
+two-level writeback caches, allocate-on-write, LRU — but carries the actual
+8-byte words of every resident line.  A load's value is read from L1; a
+miss fills from L2; an L2 miss fills from backing memory; dirty evictions
+write the line's words down.  Backing memory starts from a snapshot of the
+workload's functional image and is updated *only by writebacks*, so any
+protocol violation leaves it (and subsequent fills) stale — exactly how the
+paper's OoOSysC validation caught the forgotten dirty bit.
+
+:class:`FaultInjector` makes that story testable: it can drop dirty bits,
+suppress writebacks, or corrupt fills on request, and
+:func:`run_value_check` demonstrably flags the resulting wrong values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import CacheConfig, MachineConfig, baseline_config
+from repro.isa.instr import ADDR, EXTRA, OP, Op
+from repro.workloads.image import WORD_BYTES, MemoryImage
+
+
+@dataclass(frozen=True)
+class ValueMismatch:
+    """One load whose cached value diverged from the emulator."""
+
+    index: int          # trace position
+    addr: int
+    expected: int
+    actual: int
+    level: str          # where the wrong value was found
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"load #{self.index} @0x{self.addr:x}: cached 0x{self.actual:x}"
+                f" != emulator 0x{self.expected:x} (from {self.level})")
+
+
+class FaultInjector:
+    """Deliberate protocol defects, for proving the checker works.
+
+    Each knob is a countdown: the fault fires on the Nth opportunity then
+    disarms, so tests can seed exactly one bug.
+    """
+
+    def __init__(
+        self,
+        drop_dirty_on_store: int = 0,
+        skip_writeback: int = 0,
+        corrupt_fill: int = 0,
+    ):
+        self.drop_dirty_on_store = drop_dirty_on_store
+        self.skip_writeback = skip_writeback
+        self.corrupt_fill = corrupt_fill
+
+    def _fire(self, attr: str) -> bool:
+        count = getattr(self, attr)
+        if count > 0:
+            setattr(self, attr, count - 1)
+            return count == 1
+        return False
+
+    def should_drop_dirty(self) -> bool:
+        return self._fire("drop_dirty_on_store")
+
+    def should_skip_writeback(self) -> bool:
+        return self._fire("skip_writeback")
+
+    def should_corrupt_fill(self) -> bool:
+        return self._fire("corrupt_fill")
+
+
+class _Line:
+    __slots__ = ("tag", "dirty", "words")
+
+    def __init__(self, tag: int, words: List[int]):
+        self.tag = tag
+        self.dirty = False
+        self.words = words
+
+
+class FunctionalCache:
+    """One value-carrying cache level (LRU, writeback, allocate-on-write)."""
+
+    def __init__(
+        self,
+        config: CacheConfig,
+        fetch_line: Callable[[int], List[int]],
+        writeback_line: Callable[[int, List[int]], None],
+        fault: Optional[FaultInjector] = None,
+    ):
+        self.config = config
+        self.line_bits = config.line_size.bit_length() - 1
+        self.words_per_line = config.line_size // WORD_BYTES
+        self._set_mask = config.n_sets - 1
+        self._sets: List[List[_Line]] = [[] for _ in range(config.n_sets)]
+        self._fetch_line = fetch_line
+        self._writeback_line = writeback_line
+        self.fault = fault or FaultInjector()
+        self.fills = 0
+        self.writebacks = 0
+
+    # -- geometry -------------------------------------------------------------
+
+    def _locate(self, addr: int) -> Tuple[int, int, int]:
+        block = addr >> self.line_bits
+        return block, block & self._set_mask, (addr >> 3) % self.words_per_line
+
+    def line_addr(self, block: int) -> int:
+        return block << self.line_bits
+
+    # -- the protocol ------------------------------------------------------------
+
+    def _find(self, set_idx: int, block: int) -> Optional[_Line]:
+        lines = self._sets[set_idx]
+        for i, line in enumerate(lines):
+            if line.tag == block:
+                if i:
+                    del lines[i]
+                    lines.insert(0, line)
+                return line
+        return None
+
+    def _fill(self, set_idx: int, block: int) -> _Line:
+        words = list(self._fetch_line(self.line_addr(block)))
+        if self.fault.should_corrupt_fill():
+            words[0] ^= 0xDEAD
+        line = _Line(block, words)
+        lines = self._sets[set_idx]
+        if len(lines) >= self.config.assoc:
+            victim = lines.pop()
+            if victim.dirty and not self.fault.should_skip_writeback():
+                self._writeback_line(self.line_addr(victim.tag), victim.words)
+                self.writebacks += 1
+        lines.insert(0, line)
+        self.fills += 1
+        return line
+
+    def load(self, addr: int) -> int:
+        block, set_idx, word = self._locate(addr)
+        line = self._find(set_idx, block) or self._fill(set_idx, block)
+        return line.words[word]
+
+    def store(self, addr: int, value: int) -> None:
+        block, set_idx, word = self._locate(addr)
+        line = self._find(set_idx, block) or self._fill(set_idx, block)
+        line.words[word] = value
+        if not self.fault.should_drop_dirty():
+            line.dirty = True
+
+    def flush(self) -> None:
+        """Write every dirty line back (end-of-run reconciliation)."""
+        for lines in self._sets:
+            for line in lines:
+                if line.dirty:
+                    if not self.fault.should_skip_writeback():
+                        self._writeback_line(
+                            self.line_addr(line.tag), line.words
+                        )
+                        self.writebacks += 1
+                    line.dirty = False
+
+
+class FunctionalHierarchy:
+    """L1D + L2 + backing memory, all carrying real values."""
+
+    def __init__(
+        self,
+        image: MemoryImage,
+        config: Optional[MachineConfig] = None,
+        fault: Optional[FaultInjector] = None,
+        fault_level: str = "l1",
+    ):
+        config = config or baseline_config()
+        # Backing memory: a snapshot of the image, updated only by
+        # writebacks arriving from L2.
+        self._backing: Dict[int, int] = dict(image._words)
+        self._backing_reader = image  # for words never written (garbage fn)
+
+        def read_backing_line(line_addr: int, nbytes: int) -> List[int]:
+            words = []
+            for off in range(0, nbytes, WORD_BYTES):
+                word_addr = line_addr + off
+                if word_addr in self._backing:
+                    words.append(self._backing[word_addr])
+                else:
+                    words.append(self._backing_reader._uninitialised(word_addr))
+            return words
+
+        def write_backing_line(line_addr: int, words: Sequence[int]) -> None:
+            for i, value in enumerate(words):
+                self._backing[line_addr + i * WORD_BYTES] = value
+
+        l1_fault = fault if fault_level == "l1" else None
+        l2_fault = fault if fault_level == "l2" else None
+
+        self.l2 = FunctionalCache(
+            config.l2,
+            fetch_line=lambda addr: read_backing_line(addr, config.l2.line_size),
+            writeback_line=write_backing_line,
+            fault=l2_fault,
+        )
+
+        def fetch_from_l2(line_addr: int) -> List[int]:
+            return [
+                self.l2.load(line_addr + i * WORD_BYTES)
+                for i in range(config.l1d.line_size // WORD_BYTES)
+            ]
+
+        def writeback_to_l2(line_addr: int, words: Sequence[int]) -> None:
+            for i, value in enumerate(words):
+                self.l2.store(line_addr + i * WORD_BYTES, value)
+
+        self.l1d = FunctionalCache(
+            config.l1d,
+            fetch_line=fetch_from_l2,
+            writeback_line=writeback_to_l2,
+            fault=l1_fault,
+        )
+
+    def load(self, addr: int) -> int:
+        return self.l1d.load(addr)
+
+    def store(self, addr: int, value: int) -> None:
+        self.l1d.store(addr, value)
+
+    def flush(self) -> None:
+        self.l1d.flush()
+        self.l2.flush()
+
+    def backing_value(self, addr: int) -> int:
+        word_addr = addr & ~(WORD_BYTES - 1)
+        if word_addr in self._backing:
+            return self._backing[word_addr]
+        return self._backing_reader._uninitialised(word_addr)
+
+
+def run_value_check(
+    trace: Sequence,
+    image: MemoryImage,
+    config: Optional[MachineConfig] = None,
+    fault: Optional[FaultInjector] = None,
+    fault_level: str = "l1",
+    max_mismatches: int = 16,
+) -> List[ValueMismatch]:
+    """Execute ``trace`` on the functional hierarchy vs a flat emulator.
+
+    Returns the list of load-value mismatches (empty = the protocol is
+    sound).  The emulator is a plain program-order memory; the hierarchy
+    must agree with it on every load, and — after a final flush — backing
+    memory must agree on every word the program wrote.
+    """
+    hierarchy = FunctionalHierarchy(image, config, fault, fault_level)
+    emulator: Dict[int, int] = dict(image._words)
+    mismatches: List[ValueMismatch] = []
+    load_op, store_op = int(Op.LOAD), int(Op.STORE)
+    written: Dict[int, int] = {}
+
+    for index, record in enumerate(trace):
+        op = record[OP]
+        if op == store_op:
+            addr = record[ADDR]
+            value = record[EXTRA]
+            hierarchy.store(addr, value)
+            word_addr = addr & ~(WORD_BYTES - 1)
+            emulator[word_addr] = value
+            written[word_addr] = value
+        elif op == load_op:
+            addr = record[ADDR]
+            actual = hierarchy.load(addr)
+            word_addr = addr & ~(WORD_BYTES - 1)
+            if word_addr in emulator:
+                expected = emulator[word_addr]
+            else:
+                expected = image._uninitialised(word_addr)
+            if actual != expected:
+                mismatches.append(ValueMismatch(
+                    index=index, addr=addr, expected=expected,
+                    actual=actual, level="hierarchy",
+                ))
+                if len(mismatches) >= max_mismatches:
+                    return mismatches
+
+    # End-of-run: flush and reconcile backing memory with the emulator.
+    hierarchy.flush()
+    for word_addr, value in written.items():
+        actual = hierarchy.backing_value(word_addr)
+        if actual != value:
+            mismatches.append(ValueMismatch(
+                index=len(trace), addr=word_addr, expected=value,
+                actual=actual, level="backing",
+            ))
+            if len(mismatches) >= max_mismatches:
+                break
+    return mismatches

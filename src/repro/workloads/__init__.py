@@ -1,0 +1,37 @@
+"""Synthetic SPEC CPU2000 stand-in workloads.
+
+The paper simulates 500-million-instruction SimPoint traces of the 26 SPEC
+CPU2000 benchmarks compiled for Alpha.  Those binaries and traces are not
+redistributable, so this package provides the substitution documented in
+DESIGN.md: 26 deterministic synthetic trace generators, one per benchmark,
+each parameterised to mimic the published memory behaviour *class* of its
+namesake (working-set size, stride structure, pointer intensity, value
+locality, branch behaviour).  Traces come with a functional
+:class:`MemoryImage` holding real data values — linked structures whose
+fields contain genuine pointers (for CDP) and value distributions with
+controlled frequent-value locality (for FVC).
+
+Use :func:`repro.workloads.registry.build` to get ``(trace, image)`` for a
+benchmark by name; :data:`ALL_BENCHMARKS` lists the canonical 26 names.
+"""
+
+from repro.workloads.image import MemoryImage
+from repro.workloads.base import SyntheticWorkload, WorkloadSpec
+from repro.workloads.registry import (
+    ALL_BENCHMARKS,
+    FP_BENCHMARKS,
+    INT_BENCHMARKS,
+    build,
+    get_spec,
+)
+
+__all__ = [
+    "ALL_BENCHMARKS",
+    "FP_BENCHMARKS",
+    "INT_BENCHMARKS",
+    "MemoryImage",
+    "SyntheticWorkload",
+    "WorkloadSpec",
+    "build",
+    "get_spec",
+]

@@ -1,0 +1,97 @@
+"""Functional memory image.
+
+The original MicroLib validated cache models by *executing* programs — "the
+cache not only contains the addresses but the actual values of the data"
+(Section 2.2) — and two mechanisms genuinely need values: the Frequent Value
+Cache compresses lines whose words come from a small recurring value set,
+and Content-Directed Prefetching scans refilled lines for words that look
+like pointers.
+
+:class:`MemoryImage` is a sparse word-addressable memory (8-byte words).
+Workload generators populate it with arrays and linked data structures;
+the simulated machine's stores update it; mechanisms read lines from it.
+It also tracks the heap bounds so CDP's "does this word look like an
+address?" test works exactly as in the original: value within the data
+region and word-aligned.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+WORD_BYTES = 8
+
+
+class MemoryImage:
+    """Sparse functional memory with pointer-region tracking."""
+
+    def __init__(self) -> None:
+        self._words: Dict[int, int] = {}
+        self.heap_lo: int = 0
+        self.heap_hi: int = 0
+        self.reads = 0
+        self.writes = 0
+
+    # -- region management -------------------------------------------------------
+
+    def note_heap(self, lo: int, hi: int) -> None:
+        """Extend the recorded heap (pointer-candidate) address range."""
+        if self.heap_hi == 0:
+            self.heap_lo, self.heap_hi = lo, hi
+        else:
+            self.heap_lo = min(self.heap_lo, lo)
+            self.heap_hi = max(self.heap_hi, hi)
+
+    def looks_like_pointer(self, value: int) -> bool:
+        """CDP's candidate test: aligned and within the data region."""
+        if value <= 0 or value % WORD_BYTES:
+            return False
+        return self.heap_lo <= value < self.heap_hi
+
+    # -- word access ------------------------------------------------------------
+
+    @staticmethod
+    def _word_addr(addr: int) -> int:
+        return addr & ~(WORD_BYTES - 1)
+
+    @staticmethod
+    def _uninitialised(word_addr: int) -> int:
+        """Deterministic garbage for never-written words.
+
+        Real memory is not zero-filled; returning 0 everywhere would make
+        every untouched line look perfectly value-compressible to the FVC.
+        The value is odd, so it can never satisfy the aligned-pointer test.
+        """
+        return ((word_addr * 2654435761) & 0xFFFFFFFF) | 1
+
+    def write(self, addr: int, value: int) -> None:
+        self._words[self._word_addr(addr)] = value
+        self.writes += 1
+
+    def read(self, addr: int) -> int:
+        self.reads += 1
+        word_addr = self._word_addr(addr)
+        value = self._words.get(word_addr)
+        if value is None:
+            return self._uninitialised(word_addr)
+        return value
+
+    def read_line(self, line_addr: int, line_bytes: int) -> Tuple[int, ...]:
+        """All words of the aligned line starting at ``line_addr``."""
+        words = self._words
+        base = self._word_addr(line_addr)
+        self.reads += 1
+        out = []
+        for offset in range(0, line_bytes, WORD_BYTES):
+            word_addr = base + offset
+            value = words.get(word_addr)
+            if value is None:
+                value = self._uninitialised(word_addr)
+            out.append(value)
+        return tuple(out)
+
+    def __len__(self) -> int:
+        return len(self._words)
+
+    def __contains__(self, addr: int) -> bool:
+        return self._word_addr(addr) in self._words

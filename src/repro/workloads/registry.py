@@ -1,0 +1,85 @@
+"""Benchmark registry: names, suites, article selections, cached builds.
+
+The canonical order of :data:`ALL_BENCHMARKS` matches the paper's Table 4
+(the 14 CFP2000 benchmarks alphabetically, then the 12 CINT2000 ones).
+
+``ARTICLE_SELECTIONS`` reproduces Table 4's "benchmarks used in validated
+mechanisms" rows, which drive the Table 7 experiment (influence of benchmark
+selection).  The printed table in the source paper does not legibly identify
+*which* columns carry the check marks for DBCP (5 benchmarks) and GHB (12
+benchmarks); we use selections consistent with those counts and with the
+mechanisms' target behaviours (DBCP's article evaluated irregular,
+miss-heavy programs; GHB's evaluated the memory-intensive majority), and
+document the substitution here and in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, List, Tuple
+
+from repro.workloads.base import SyntheticWorkload, WorkloadSpec
+from repro.workloads.image import MemoryImage
+from repro.workloads.spec2000 import SPECS
+
+FP_BENCHMARKS: Tuple[str, ...] = (
+    "ammp", "applu", "apsi", "art", "equake", "facerec", "fma3d", "galgel",
+    "lucas", "mesa", "mgrid", "sixtrack", "swim", "wupwise",
+)
+INT_BENCHMARKS: Tuple[str, ...] = (
+    "bzip2", "crafty", "eon", "gap", "gcc", "gzip", "mcf", "parser",
+    "perlbmk", "twolf", "vortex", "vpr",
+)
+ALL_BENCHMARKS: Tuple[str, ...] = FP_BENCHMARKS + INT_BENCHMARKS
+
+#: Benchmark subsets used by the original mechanism articles (Table 4).
+ARTICLE_SELECTIONS: Dict[str, Tuple[str, ...]] = {
+    # 5 benchmarks (DBCP row of Table 4).
+    "DBCP": ("art", "equake", "mcf", "parser", "vpr"),
+    # 12 benchmarks (GHB row of Table 4).
+    "GHB": (
+        "ammp", "applu", "art", "equake", "facerec", "galgel",
+        "lucas", "mcf", "mgrid", "swim", "twolf", "wupwise",
+    ),
+    # TK / TKVC / TCP were validated on all 26 (Table 4).
+    "TK": ALL_BENCHMARKS,
+    "TKVC": ALL_BENCHMARKS,
+    "TCP": ALL_BENCHMARKS,
+}
+
+#: The six most and least mechanism-sensitive benchmarks named in the paper
+#: (Section 3.2, Figure 7).
+HIGH_SENSITIVITY: Tuple[str, ...] = ("apsi", "equake", "fma3d", "mgrid", "swim", "gap")
+LOW_SENSITIVITY: Tuple[str, ...] = (
+    "wupwise", "bzip2", "crafty", "eon", "perlbmk", "vortex",
+)
+
+
+def get_spec(name: str) -> WorkloadSpec:
+    """Return the workload specification for benchmark ``name``."""
+    try:
+        return SPECS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; known: {', '.join(ALL_BENCHMARKS)}"
+        ) from None
+
+
+@lru_cache(maxsize=64)
+def build(
+    name: str, n_instructions: int
+) -> Tuple[List[Tuple[int, int, int, int, int]], MemoryImage]:
+    """Build (and cache) the trace and functional image for ``name``.
+
+    The same ``(name, n_instructions)`` pair always returns the same
+    objects; callers must not mutate the trace.  The image absorbs the
+    simulated machine's stores, which replay the generation-time values, so
+    sharing it across runs is sound.
+    """
+    spec = get_spec(name)
+    return SyntheticWorkload(spec).build(n_instructions)
+
+
+def clear_cache() -> None:
+    """Drop all cached traces (tests use this to bound memory)."""
+    build.cache_clear()

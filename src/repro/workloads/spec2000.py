@@ -1,0 +1,430 @@
+"""The 26 SPEC CPU2000 stand-in workload specifications.
+
+Each spec is calibrated to reproduce the published memory-behaviour *class*
+of its namesake at the simulated machine's scale (32 KB direct-mapped L1,
+1 MB 4-way L2).  Pattern weights are *fractions of memory operations*: every
+benchmark is dominated by a cache-resident hot set — like real programs,
+whose L1 miss rates sit in single digits — with a calibrated share of
+miss-generating traffic whose *kind* gives the benchmark its personality:
+
+* **low-sensitivity** (barely react to data-cache mechanisms — Figure 6):
+  ``wupwise``, ``bzip2``, ``crafty``, ``eon``, ``perlbmk``, ``vortex`` —
+  miss share of a few percent;
+* **high-sensitivity**: ``apsi``, ``equake``, ``fma3d``, ``mgrid``,
+  ``swim``, ``gap`` — 25-35% of memory operations stream or stride over
+  multi-L2 working sets;
+* **pointer-intensive**: ``mcf`` (decoy-pointer payloads — the CDP trap),
+  ``twolf``/``equake`` (clean leading next pointers, partially opaque
+  hops — CDP's modest wins), ``ammp`` (next pointer at byte 88, beyond the
+  64-byte fetched line — CDP systematically fails, Section 3.1),
+  ``parser``;
+* **Markov-friendly** repeating non-arithmetic miss sequences: ``gzip``,
+  ``ammp`` (the two benchmarks where Markov beats everyone);
+* **memory-bound, row-buffer-hostile**: ``lucas`` (long strides opening a
+  new DRAM row nearly every miss; the paper reports 389-cycle average
+  SDRAM latency for it vs 87 for ``gzip``).
+
+Most benchmarks begin with an initialisation-like streaming phase, which is
+what makes arbitrary "skip N, simulate M" windows disagree with SimPoint
+selections in Figure 11.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.workloads.base import PatternMix, WorkloadSpec
+
+KB = 1 << 10
+MB = 1 << 20
+
+
+def _mix(kind: str, weight: float, **params) -> PatternMix:
+    return PatternMix(kind, weight, tuple(sorted(params.items())))
+
+
+def _hot(weight: float, working_set: int = 24 * KB) -> PatternMix:
+    return _mix("hot", weight, working_set=working_set)
+
+
+#: A generic "initialisation then steady state" phase plan: the first
+#: pattern (always a streaming/missing one) is boosted during init.
+def _init_phase(n_patterns: int, init_fraction: float = 0.15) -> Tuple:
+    boost = tuple([4.0] + [0.3] * (n_patterns - 1))
+    steady = tuple([1.0] * n_patterns)
+    return ((init_fraction, boost), (1.0 - init_fraction, steady))
+
+
+def _specs() -> Dict[str, WorkloadSpec]:
+    specs = {}
+
+    def add(spec: WorkloadSpec) -> None:
+        if spec.name in specs:
+            raise ValueError(f"duplicate benchmark {spec.name}")
+        specs[spec.name] = spec
+
+    # ----- CFP2000 ---------------------------------------------------------
+
+    add(WorkloadSpec(
+        name="ammp", suite="fp",
+        description="molecular dynamics: neighbour-list sweep repeating "
+                    "almost exactly (Markov-friendly) and pointer structs "
+                    "with the next pointer at byte 88 (CDP-hostile)",
+        patterns=(
+            _mix("loop_seq", 0.12, working_set=192 * KB, sequence_length=200,
+                 noise=0.03, conflict_sets=40, way_span=256 * KB),
+            _mix("pointer", 0.07, n_nodes=3072, node_size=96, next_offset=88,
+                 n_chains=2),
+            _mix("stride", 0.04, working_set=512 * KB, stride=8),
+            _hot(0.77, 20 * KB),
+        ),
+        mem_fraction=0.38, store_fraction=0.2, branch_fraction=0.05,
+        fp_fraction=0.7, mispredict_rate=0.01, value_locality=0.25,
+        phases=_init_phase(4), seed=101,
+    ))
+    add(WorkloadSpec(
+        name="applu", suite="fp",
+        description="parabolic PDE solver: unit and line-sized stride "
+                    "sweeps over ~0.5 MB",
+        patterns=(
+            _mix("stride", 0.07, working_set=512 * KB, stride=8),
+            _mix("stride", 0.05, working_set=512 * KB, stride=64),
+            _hot(0.88, 16 * KB),
+        ),
+        mem_fraction=0.36, store_fraction=0.3, branch_fraction=0.04,
+        fp_fraction=0.8, mispredict_rate=0.008, value_locality=0.2,
+        phases=_init_phase(3), seed=102,
+    ))
+    add(WorkloadSpec(
+        name="apsi", suite="fp",
+        description="meteorology: several line-skipping strided streams "
+                    "over ~0.75 MB (high sensitivity; stride prefetchers "
+                    "win, next-line prefetch does not)",
+        patterns=(
+            _mix("stride", 0.10, working_set=768 * KB, stride=8),
+            _mix("stride", 0.10, working_set=768 * KB, stride=96),
+            _mix("stride", 0.08, working_set=768 * KB, stride=128),
+            _mix("stride", 0.05, working_set=256 * KB, stride=168),
+            _hot(0.67, 16 * KB),
+        ),
+        mem_fraction=0.38, store_fraction=0.28, branch_fraction=0.04,
+        fp_fraction=0.75, mispredict_rate=0.01, value_locality=0.2,
+        phases=_init_phase(5), seed=103,
+    ))
+    add(WorkloadSpec(
+        name="art", suite="fp",
+        description="neural-network image recognition: repeated sequential "
+                    "sweeps plus L1 set conflicts (VC-friendly)",
+        patterns=(
+            _mix("stride", 0.14, working_set=208 * KB, stride=8),
+            _mix("conflict", 0.09, n_ways=2, n_sets_used=6),
+            _hot(0.77, 8 * KB),
+        ),
+        mem_fraction=0.40, store_fraction=0.15, branch_fraction=0.06,
+        fp_fraction=0.6, mispredict_rate=0.015, value_locality=0.3,
+        phases=_init_phase(3), seed=104,
+    ))
+    add(WorkloadSpec(
+        name="equake", suite="fp",
+        description="earthquake simulation: sparse-matrix pointer arrays "
+                    "with clean leading next pointers but half the hops "
+                    "computed (CDP's modest win) plus streaming (high "
+                    "sensitivity)",
+        patterns=(
+            _mix("stride", 0.18, working_set=1 * MB, stride=8),
+            _mix("pointer", 0.12, n_nodes=6144, node_size=64, next_offset=0,
+                 n_chains=4, payload_pointers=0.05, opaque_hops=0.15),
+            _hot(0.70, 16 * KB),
+        ),
+        mem_fraction=0.40, store_fraction=0.2, branch_fraction=0.04,
+        fp_fraction=0.7, mispredict_rate=0.01, value_locality=0.2,
+        phases=_init_phase(3), seed=105,
+    ))
+    add(WorkloadSpec(
+        name="facerec", suite="fp",
+        description="face recognition: line-skipping image strides over "
+                    "~0.4 MB",
+        patterns=(
+            _mix("stride", 0.06, working_set=384 * KB, stride=56),
+            _mix("stride", 0.04, working_set=384 * KB, stride=80),
+            _hot(0.90, 24 * KB),
+        ),
+        mem_fraction=0.35, store_fraction=0.25, branch_fraction=0.05,
+        fp_fraction=0.7, mispredict_rate=0.01, value_locality=0.25,
+        phases=_init_phase(3), seed=106,
+    ))
+    add(WorkloadSpec(
+        name="fma3d", suite="fp",
+        description="crash simulation: element-sized strides and irregular "
+                    "accesses over >1 MB (high sensitivity)",
+        patterns=(
+            _mix("stride", 0.15, working_set=512 * KB, stride=8),
+            _mix("stride", 0.10, working_set=1536 * KB, stride=88),
+            _mix("random", 0.05, working_set=1 * MB),
+            _hot(0.70, 16 * KB),
+        ),
+        mem_fraction=0.38, store_fraction=0.3, branch_fraction=0.05,
+        fp_fraction=0.75, mispredict_rate=0.012, value_locality=0.2,
+        phases=_init_phase(4), seed=107,
+    ))
+    add(WorkloadSpec(
+        name="galgel", suite="fp",
+        description="fluid dynamics: blocked streams with unit and large "
+                    "strides over ~0.25 MB",
+        patterns=(
+            _mix("stride", 0.06, working_set=256 * KB, stride=8),
+            _mix("stride", 0.04, working_set=256 * KB, stride=256),
+            _hot(0.90, 16 * KB),
+        ),
+        mem_fraction=0.36, store_fraction=0.25, branch_fraction=0.04,
+        fp_fraction=0.8, mispredict_rate=0.008, value_locality=0.2,
+        phases=_init_phase(3), seed=108,
+    ))
+    add(WorkloadSpec(
+        name="lucas", suite="fp",
+        description="primality testing (FFT): very long strides opening a "
+                    "new DRAM row nearly every miss; memory-bound and "
+                    "row-buffer hostile",
+        patterns=(
+            _mix("stride", 0.25, working_set=4 * MB, stride=33 * KB + 64),
+            _mix("stride", 0.12, working_set=4 * MB, stride=8 * KB + 128),
+            _hot(0.63, 8 * KB),
+        ),
+        mem_fraction=0.42, store_fraction=0.3, branch_fraction=0.03,
+        fp_fraction=0.85, mispredict_rate=0.005, value_locality=0.15,
+        phases=_init_phase(3), seed=109,
+    ))
+    add(WorkloadSpec(
+        name="mesa", suite="fp",
+        description="3-D graphics library: mostly cache-resident with "
+                    "light streaming",
+        patterns=(
+            _mix("random", 0.04, working_set=512 * KB),
+            _hot(0.96, 24 * KB),
+        ),
+        mem_fraction=0.33, store_fraction=0.3, branch_fraction=0.08,
+        fp_fraction=0.5, mispredict_rate=0.02, value_locality=0.35,
+        phases=_init_phase(2), seed=110,
+    ))
+    add(WorkloadSpec(
+        name="mgrid", suite="fp",
+        description="multigrid solver: unit and power-of-two plane strides "
+                    "over ~1 MB (high sensitivity)",
+        patterns=(
+            _mix("stride", 0.12, working_set=1 * MB, stride=8),
+            _mix("stride", 0.12, working_set=1 * MB, stride=1024),
+            _mix("stride", 0.06, working_set=1 * MB, stride=32 * KB),
+            _hot(0.70, 16 * KB),
+        ),
+        mem_fraction=0.40, store_fraction=0.25, branch_fraction=0.03,
+        fp_fraction=0.85, mispredict_rate=0.006, value_locality=0.15,
+        phases=_init_phase(4), seed=111,
+    ))
+    add(WorkloadSpec(
+        name="sixtrack", suite="fp",
+        description="particle tracking: tight hot loops, tiny working set",
+        patterns=(
+            _mix("random", 0.03, working_set=512 * KB),
+            _hot(0.97, 20 * KB),
+        ),
+        mem_fraction=0.32, store_fraction=0.25, branch_fraction=0.05,
+        fp_fraction=0.8, mispredict_rate=0.01, value_locality=0.25,
+        seed=112,
+    ))
+    add(WorkloadSpec(
+        name="swim", suite="fp",
+        description="shallow-water stencil: unit-stride streaming over "
+                    "2 MB — the prefetcher showcase (high sensitivity)",
+        patterns=(
+            _mix("stride", 0.22, working_set=2 * MB, stride=8),
+            _mix("stride", 0.12, working_set=2 * MB, stride=16),
+            _hot(0.66, 12 * KB),
+        ),
+        mem_fraction=0.42, store_fraction=0.3, branch_fraction=0.02,
+        fp_fraction=0.9, mispredict_rate=0.004, value_locality=0.15,
+        phases=_init_phase(3), seed=113,
+    ))
+    add(WorkloadSpec(
+        name="wupwise", suite="fp",
+        description="quantum chromodynamics: blocked matrix kernels that "
+                    "fit in cache (low sensitivity)",
+        patterns=(
+            _mix("random", 0.02, working_set=768 * KB),
+            _hot(0.98, 24 * KB),
+        ),
+        mem_fraction=0.34, store_fraction=0.3, branch_fraction=0.03,
+        fp_fraction=0.85, mispredict_rate=0.005, value_locality=0.2,
+        seed=114,
+    ))
+
+    # ----- CINT2000 --------------------------------------------------------
+
+    add(WorkloadSpec(
+        name="bzip2", suite="int",
+        description="compression: hot tables that fit in cache, high value "
+                    "locality (low sensitivity)",
+        patterns=(
+            _mix("random", 0.05, working_set=768 * KB),
+            _hot(0.95, 28 * KB),
+        ),
+        mem_fraction=0.34, store_fraction=0.35, branch_fraction=0.15,
+        mispredict_rate=0.05, value_locality=0.7,
+        seed=201,
+    ))
+    add(WorkloadSpec(
+        name="crafty", suite="int",
+        description="chess: bitboard tables in cache, branchy "
+                    "(low sensitivity)",
+        patterns=(
+            _mix("random", 0.03, working_set=768 * KB),
+            _hot(0.97, 24 * KB),
+        ),
+        mem_fraction=0.30, store_fraction=0.2, branch_fraction=0.18,
+        mispredict_rate=0.06, value_locality=0.4,
+        code_footprint=64 * KB, seed=202,
+    ))
+    add(WorkloadSpec(
+        name="eon", suite="int",
+        description="probabilistic ray tracer: small scene data, C++ "
+                    "call-heavy (low sensitivity)",
+        patterns=(
+            _mix("random", 0.02, working_set=768 * KB),
+            _hot(0.98, 20 * KB),
+        ),
+        mem_fraction=0.33, store_fraction=0.3, branch_fraction=0.14,
+        fp_fraction=0.3, mispredict_rate=0.04, value_locality=0.35,
+        code_footprint=48 * KB, seed=203,
+    ))
+    add(WorkloadSpec(
+        name="gap", suite="int",
+        description="group theory: object-sized strides and irregular "
+                    "bag operations over ~1 MB (high sensitivity)",
+        patterns=(
+            _mix("stride", 0.12, working_set=1 * MB, stride=8),
+            _mix("stride", 0.10, working_set=1 * MB, stride=72),
+            _mix("random", 0.06, working_set=768 * KB),
+            _hot(0.72, 16 * KB),
+        ),
+        mem_fraction=0.38, store_fraction=0.3, branch_fraction=0.13,
+        mispredict_rate=0.05, value_locality=0.4,
+        phases=_init_phase(4), seed=204,
+    ))
+    add(WorkloadSpec(
+        name="gcc", suite="int",
+        description="compiler: irregular accesses with a repeating pass "
+                    "structure colliding in L1 sets",
+        patterns=(
+            _mix("random", 0.08, working_set=512 * KB),
+            _mix("loop_seq", 0.06, working_set=256 * KB, sequence_length=192,
+                 noise=0.1, conflict_sets=48),
+            _hot(0.86, 24 * KB),
+        ),
+        mem_fraction=0.36, store_fraction=0.35, branch_fraction=0.18,
+        mispredict_rate=0.07, value_locality=0.45,
+        phases=_init_phase(3), code_footprint=192 * KB, seed=205,
+    ))
+    add(WorkloadSpec(
+        name="gzip", suite="int",
+        description="compression: sliding-window dictionary accesses "
+                    "repeating almost exactly and colliding in cache sets "
+                    "(the Markov prefetcher's best case) with sequential "
+                    "input scans",
+        patterns=(
+            _mix("loop_seq", 0.11, working_set=256 * KB, sequence_length=240,
+                 noise=0.02, conflict_sets=48, way_span=256 * KB),
+            _mix("stride", 0.04, working_set=512 * KB, stride=8),
+            _hot(0.85, 20 * KB),
+        ),
+        mem_fraction=0.36, store_fraction=0.3, branch_fraction=0.14,
+        mispredict_rate=0.04, value_locality=0.45,
+        phases=_init_phase(3), seed=206,
+    ))
+    add(WorkloadSpec(
+        name="mcf", suite="int",
+        description="network simplex: huge pointer graph whose nodes are "
+                    "full of decoy pointers — memory-bound, and the "
+                    "benchmark CDP slows down",
+        patterns=(
+            _mix("pointer", 0.30, n_nodes=32768, node_size=64, next_offset=8,
+                 n_chains=6, payload_pointers=0.45),
+            _mix("random", 0.08, working_set=1 * MB),
+            _hot(0.62, 12 * KB),
+        ),
+        mem_fraction=0.42, store_fraction=0.2, branch_fraction=0.12,
+        mispredict_rate=0.06, value_locality=0.3,
+        phases=_init_phase(3), seed=207,
+    ))
+    add(WorkloadSpec(
+        name="parser", suite="int",
+        description="natural-language parser: dictionary pointer chasing "
+                    "plus hot grammar tables",
+        patterns=(
+            _mix("pointer", 0.10, n_nodes=8192, node_size=64, next_offset=0,
+                 n_chains=4, opaque_hops=0.4),
+            _mix("random", 0.05, working_set=256 * KB),
+            _hot(0.85, 24 * KB),
+        ),
+        mem_fraction=0.36, store_fraction=0.25, branch_fraction=0.16,
+        mispredict_rate=0.06, value_locality=0.5,
+        phases=_init_phase(3), seed=208,
+    ))
+    add(WorkloadSpec(
+        name="perlbmk", suite="int",
+        description="perl interpreter: hot opcode dispatch tables "
+                    "(low sensitivity)",
+        patterns=(
+            _mix("random", 0.03, working_set=768 * KB),
+            _hot(0.97, 24 * KB),
+        ),
+        mem_fraction=0.34, store_fraction=0.35, branch_fraction=0.17,
+        mispredict_rate=0.05, value_locality=0.5,
+        code_footprint=96 * KB, seed=209,
+    ))
+    add(WorkloadSpec(
+        name="twolf", suite="int",
+        description="place and route: cell pointer lists with clean "
+                    "leading next pointers but mostly computed hops (a "
+                    "modest CDP beneficiary) plus set conflicts",
+        patterns=(
+            _mix("pointer", 0.10, n_nodes=5120, node_size=64, next_offset=0,
+                 n_chains=3, payload_pointers=0.1, opaque_hops=0.6),
+            _mix("conflict", 0.08, n_ways=2, n_sets_used=6),
+            _hot(0.82, 16 * KB),
+        ),
+        mem_fraction=0.37, store_fraction=0.25, branch_fraction=0.13,
+        mispredict_rate=0.055, value_locality=0.35,
+        phases=_init_phase(3), seed=210,
+    ))
+    add(WorkloadSpec(
+        name="vortex", suite="int",
+        description="object database: warm object cache, modest footprint "
+                    "(low sensitivity)",
+        patterns=(
+            _mix("random", 0.025, working_set=768 * KB),
+            _hot(0.975, 28 * KB),
+        ),
+        mem_fraction=0.36, store_fraction=0.35, branch_fraction=0.14,
+        mispredict_rate=0.04, value_locality=0.5,
+        code_footprint=48 * KB, seed=211,
+    ))
+    add(WorkloadSpec(
+        name="vpr", suite="int",
+        description="FPGA place and route: routing-grid set conflicts "
+                    "(VC-friendly) with revisited nets colliding in L2 "
+                    "sets and irregular traversal",
+        patterns=(
+            _mix("conflict", 0.10, n_ways=2, n_sets_used=6),
+            _mix("random", 0.06, working_set=384 * KB),
+            _mix("loop_seq", 0.08, working_set=2 * MB, sequence_length=160,
+                 noise=0.03, conflict_sets=32, way_span=256 * KB),
+            _hot(0.76, 16 * KB),
+        ),
+        mem_fraction=0.36, store_fraction=0.25, branch_fraction=0.13,
+        mispredict_rate=0.06, value_locality=0.35,
+        phases=_init_phase(4), seed=212,
+    ))
+
+    return specs
+
+
+SPECS: Dict[str, WorkloadSpec] = _specs()

@@ -1,0 +1,32 @@
+"""Interoperability wrappers — Section 4's federation story.
+
+The original MicroLib ran all of this paper's experiments through a
+*SimpleScalar wrapper*: their SystemC cache modules plugged into
+SimpleScalar's ``cache_access`` interface, so an existing simulator could
+host library components unchanged.  This package provides both directions
+of that idea for the Python library:
+
+* :class:`SimpleScalarCacheShim` — exposes this library's hierarchy
+  through a SimpleScalar-style ``cache_access(cmd, addr, now) -> latency``
+  call, so code written against that classic interface can drive MicroLib
+  models;
+* :class:`ForeignPrefetcherAdapter` — wraps a *foreign* prefetcher
+  (any object with a ``train(pc, addr, hit) -> [addresses]`` method, the
+  common shape of standalone prefetcher models) as a native
+  :class:`repro.mechanisms.base.Mechanism`, so third-party models can be
+  compared by the harness without rewriting them.
+"""
+
+from repro.wrappers.simplescalar import (
+    CACHE_READ,
+    CACHE_WRITE,
+    SimpleScalarCacheShim,
+)
+from repro.wrappers.foreign import ForeignPrefetcherAdapter
+
+__all__ = [
+    "CACHE_READ",
+    "CACHE_WRITE",
+    "ForeignPrefetcherAdapter",
+    "SimpleScalarCacheShim",
+]

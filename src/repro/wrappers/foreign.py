@@ -1,0 +1,78 @@
+"""Adapter for foreign prefetcher models.
+
+Standalone prefetcher models — the kind researchers exchange as single
+files — usually expose some variant of::
+
+    class MyPrefetcher:
+        def train(self, pc, addr, hit):
+            ...
+            return [prefetch_addr, ...]
+
+:class:`ForeignPrefetcherAdapter` wraps any such object as a native
+:class:`repro.mechanisms.base.Mechanism`, so the comparison harness, the
+cost model and the prefetch plumbing all work unchanged.  This is the
+import half of the paper's federation goal: models written against other
+interfaces join the library through a wrapper instead of a rewrite.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.mechanisms.base import Mechanism, StructureSpec
+
+
+class ForeignPrefetcherAdapter(Mechanism):
+    """Host a ``train(pc, addr, hit) -> [addresses]`` model as a Mechanism.
+
+    Parameters
+    ----------
+    model:
+        The foreign prefetcher.  Must provide ``train``; may provide
+        ``table_bytes`` (for the cost model) and ``name``.
+    level:
+        Cache level to attach to (``"l1"`` or ``"l2"``).
+    queue_size:
+        Request-queue capacity (prefetches past it are dropped).
+    """
+
+    ACRONYM = "Foreign"
+    YEAR = 0
+
+    def __init__(
+        self,
+        model,
+        level: str = "l2",
+        queue_size: int = 16,
+        name: Optional[str] = None,
+        parent=None,
+    ):
+        if not hasattr(model, "train"):
+            raise TypeError(
+                f"foreign model {model!r} has no train(pc, addr, hit) method"
+            )
+        if level not in ("l1", "l2"):
+            raise ValueError(f"level must be 'l1' or 'l2', got {level!r}")
+        self.LEVEL = level
+        self.QUEUE_SIZE = queue_size
+        super().__init__(name or getattr(model, "name", "foreign"), parent)
+        self.model = model
+        self.ACRONYM = getattr(model, "name", "Foreign")
+
+    def on_access(
+        self, pc: int, block: int, hit: bool, was_prefetched: bool, time: int
+    ) -> None:
+        if pc == 0:
+            return
+        self.count_table_access()
+        addresses = self.model.train(pc, self.cache.addr_of(block), hit)
+        for addr in addresses or ():
+            if not self.cache.contains(addr):
+                self.emit_prefetch(int(addr), time)
+
+    def structures(self) -> List[StructureSpec]:
+        table_bytes = int(getattr(self.model, "table_bytes", 256))
+        return [
+            StructureSpec("foreign_table", size_bytes=table_bytes),
+            StructureSpec("foreign_queue", size_bytes=self.QUEUE_SIZE * 8),
+        ]

@@ -1,0 +1,87 @@
+"""A SimpleScalar-style facade over the MicroLib hierarchy.
+
+SimpleScalar's cache interface is a single call::
+
+    lat = cache_access(cp, cmd, baddr, NULL, bsize, now, NULL, NULL);
+
+returning the access latency in cycles.  :class:`SimpleScalarCacheShim`
+reproduces that calling convention on top of
+:class:`repro.cache.hierarchy.MemoryHierarchy`, which is exactly what the
+original project's SimpleScalar wrapper did in the other direction ("all
+the experiments presented in this article actually correspond to MicroLib
+data cache hardware simulators plugged into SimpleScalar through a
+wrapper").  Host code written against the classic API — the paper's
+``sim-outorder`` being the canonical example — can therefore drive these
+models without knowing anything about components, hooks or queues.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cache.hierarchy import MemoryHierarchy
+from repro.core.config import MachineConfig
+from repro.mechanisms.base import Mechanism
+
+#: SimpleScalar's ``mem_cmd`` values.
+CACHE_READ = "Read"
+CACHE_WRITE = "Write"
+
+
+class SimpleScalarCacheShim:
+    """``cache_access``-style access to a MicroLib memory hierarchy."""
+
+    def __init__(
+        self,
+        config: Optional[MachineConfig] = None,
+        mechanism: Optional[Mechanism] = None,
+        image=None,
+    ):
+        from repro.core.config import baseline_config
+        self.hierarchy = MemoryHierarchy(
+            config or baseline_config(), mechanism=mechanism, image=image
+        )
+        self.accesses = 0
+
+    def cache_access(
+        self,
+        cmd: str,
+        baddr: int,
+        bsize: int,
+        now: int,
+        pc: int = 0,
+        value: int = 0,
+    ) -> int:
+        """Perform one access; return its latency in cycles (SimpleScalar's
+        contract: the number of cycles until the data is available).
+
+        ``bsize`` is accepted for interface fidelity; accesses are aligned
+        to the hierarchy's line handling exactly as SimpleScalar's block
+        addresses were.
+        """
+        if cmd == CACHE_READ:
+            ready = self.hierarchy.load(pc, baddr, now)
+        elif cmd == CACHE_WRITE:
+            ready = self.hierarchy.store(pc, baddr, value, now)
+        else:
+            raise ValueError(f"unknown mem_cmd {cmd!r}")
+        self.accesses += 1
+        latency = ready - now
+        return latency if latency > 0 else 1
+
+    # -- the handful of SimpleScalar stats hosts conventionally read ------------
+
+    @property
+    def misses(self) -> float:
+        l1 = self.hierarchy.l1d
+        return l1.st_read_misses.value + l1.st_write_misses.value
+
+    @property
+    def hits(self) -> float:
+        l1 = self.hierarchy.l1d
+        total = l1.st_reads.value + l1.st_writes.value
+        return total - self.misses
+
+    @property
+    def writebacks(self) -> float:
+        return self.hierarchy.l1d.st_writebacks.value

@@ -1,0 +1,26 @@
+"""Shared test configuration.
+
+Registers a deterministic hypothesis profile (no wall-clock deadlines —
+simulation-backed properties have variable runtimes) and keeps the
+workload-trace cache from accumulating across the whole session.
+"""
+
+import pytest
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "repro",
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture(autouse=True, scope="module")
+def _bounded_trace_cache():
+    """Traces are memoised per (benchmark, length); drop them per module so
+    a long test session's memory stays flat."""
+    yield
+    from repro.workloads.registry import clear_cache
+    clear_cache()

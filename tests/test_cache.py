@@ -1,0 +1,200 @@
+"""Tests for the MicroLib cache model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.cache import Cache
+from repro.core.config import CacheConfig
+
+
+def _cache(size=1024, assoc=2, line=32, ports=2, latency=1, precise=True,
+           infinite_mshr=False, mem_latency=50):
+    config = CacheConfig("test", size=size, assoc=assoc, line_size=line,
+                         latency=latency, ports=ports, mshr_entries=4,
+                         mshr_reads=2)
+    cache = Cache(config, precise=precise, infinite_mshr=infinite_mshr)
+    fetch_log = []
+    writeback_log = []
+
+    def fetch(addr, time, pc, is_prefetch):
+        fetch_log.append((addr, time))
+        return time + mem_latency
+
+    cache.fetch_next = fetch
+    cache.writeback_next = lambda addr, time: writeback_log.append((addr, time))
+    cache.fetch_log = fetch_log
+    cache.writeback_log = writeback_log
+    return cache
+
+
+def test_cold_miss_then_hit():
+    cache = _cache()
+    miss_ready = cache.access(pc=1, addr=0x100, time=0, is_write=False)
+    assert miss_ready >= 50
+    hit_ready = cache.access(pc=1, addr=0x100, time=miss_ready + 1, is_write=False)
+    assert hit_ready == miss_ready + 2  # port grant + 1-cycle latency
+    assert cache.st_reads.value == 2
+    assert cache.st_read_misses.value == 1
+
+
+def test_same_line_different_words_share_the_line():
+    cache = _cache()
+    ready = cache.access(1, 0x100, 0, False)
+    assert cache.contains(0x11f)  # same 32-byte line
+    assert cache.access(1, 0x11f, ready + 1, False) < ready + 10
+
+
+def test_lru_replacement_order():
+    cache = _cache(size=128, assoc=2, line=32)  # 2 sets of 2 ways
+    t = 0
+    # Three blocks mapping to set 0: 0x000, 0x040, 0x080.
+    for addr in (0x000, 0x040):
+        t = cache.access(1, addr, t + 1, False)
+    cache.access(1, 0x000, t + 1, False)        # touch 0x000 -> MRU
+    t = cache.access(1, 0x080, t + 10, False)   # evicts LRU = 0x040
+    assert cache.contains(0x000)
+    assert not cache.contains(0x040)
+    assert cache.contains(0x080)
+
+
+def test_dirty_eviction_triggers_writeback():
+    cache = _cache(size=64, assoc=1, line=32)  # 2 sets, direct-mapped
+    t = cache.access(1, 0x000, 0, is_write=True)
+    t = cache.access(1, 0x080, t + 1, is_write=False)  # evicts dirty 0x000
+    assert cache.writeback_log
+    assert cache.writeback_log[0][0] == 0x000
+    assert cache.st_writebacks.value == 1
+
+
+def test_clean_eviction_no_writeback():
+    cache = _cache(size=64, assoc=1, line=32)
+    t = cache.access(1, 0x000, 0, is_write=False)
+    cache.access(1, 0x080, t + 1, is_write=False)
+    assert not cache.writeback_log
+
+
+def test_allocate_on_write():
+    cache = _cache()
+    cache.access(1, 0x200, 0, is_write=True)
+    line = cache.peek(0x200)
+    assert line is not None
+    assert line.dirty
+
+
+def test_port_contention_slips_to_next_cycle():
+    cache = _cache(ports=2)
+    for addr in (0x100, 0x200, 0x300):
+        cache.access(1, addr, 0, False)
+    grants = cache.fetch_log  # all missed; fetch time reflects port grant
+    # Third access got port at cycle 1 (2 ports at cycle 0) plus latency.
+    assert grants[2][1] > grants[0][1]
+
+
+def test_mshr_merge_returns_fill_time():
+    cache = _cache()
+    ready = cache.access(1, 0x100, 0, False)
+    merged = cache.access(1, 0x110, 2, False)  # same line, still in flight
+    assert merged >= ready - 1
+    assert len(cache.fetch_log) == 1  # no second fetch
+
+
+def test_mshr_full_stalls_next_miss():
+    cache = _cache()
+    t = 0
+    for i in range(4):  # fill the 4 MSHRs
+        cache.access(1, 0x1000 * (i + 1), t, False)
+    before = cache.pipeline.next_free
+    cache.access(1, 0x9000, 1, False)
+    assert cache.pipeline.next_free > before  # the stall propagated
+
+
+def test_infinite_mshr_never_stalls():
+    cache = _cache(infinite_mshr=True)
+    for i in range(20):
+        cache.access(1, 0x1000 * (i + 1), 0, False)
+    assert cache.mshr.full_stalls == 0
+
+
+def test_imprecise_mode_skips_pipeline():
+    cache = _cache(precise=False, infinite_mshr=True)
+    for i in range(10):
+        cache.access(1, 0x1000 * (i + 1), 0, False)
+    assert cache.pipeline.accepts == 0
+
+
+def test_insert_prefetch_and_useful_accounting():
+    cache = _cache()
+    assert cache.insert_prefetch(0x500, ready=30, time=0)
+    assert not cache.insert_prefetch(0x500, ready=30, time=0)  # dedup
+    ready = cache.access(1, 0x500, 40, False)
+    assert ready < 50  # hit, fill already complete
+    assert cache.st_useful_prefetches.value == 1
+    assert cache.peek(0x500).prefetched is False  # flag cleared on use
+
+
+def test_hit_on_in_flight_prefetch_waits_for_fill():
+    cache = _cache()
+    cache.insert_prefetch(0x500, ready=100, time=0)
+    ready = cache.access(1, 0x500, 10, False)
+    assert ready >= 100
+
+
+def test_evict_block_with_writeback():
+    cache = _cache()
+    cache.access(1, 0x300, 0, is_write=True)
+    assert cache.evict_block(cache.block_of(0x300), 100)
+    assert not cache.contains(0x300)
+    assert cache.writeback_log
+    assert not cache.evict_block(cache.block_of(0x300), 100)  # already gone
+
+
+def test_invalidate_drops_without_writeback():
+    cache = _cache()
+    cache.access(1, 0x300, 0, is_write=True)
+    cache.invalidate(0x300)
+    assert not cache.contains(0x300)
+    assert not cache.writeback_log
+
+
+def test_miss_rate():
+    cache = _cache()
+    t = cache.access(1, 0x100, 0, False)
+    cache.access(1, 0x100, t + 1, False)
+    assert cache.miss_rate == pytest.approx(0.5)
+
+
+def test_peek_does_not_disturb_lru():
+    cache = _cache(size=128, assoc=2, line=32)
+    t = cache.access(1, 0x000, 0, False)
+    t = cache.access(1, 0x040, t + 1, False)
+    cache.peek(0x000)  # must NOT promote
+    cache.access(1, 0x080, t + 10, False)
+    assert not cache.contains(0x000)  # 0x000 stayed LRU
+
+
+def test_reset():
+    cache = _cache()
+    cache.access(1, 0x100, 0, False)
+    cache.reset()
+    assert not cache.contains(0x100)
+    assert cache.st_reads.value == 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    addrs=st.lists(st.integers(min_value=0, max_value=0x4000), min_size=1,
+                   max_size=120),
+)
+def test_set_occupancy_invariants(addrs):
+    """Property: every set holds at most `assoc` lines with unique tags."""
+    cache = _cache(size=512, assoc=2, line=32)
+    t = 0
+    for addr in addrs:
+        t = max(t + 1, cache.access(1, addr, t + 1, False) - 40)
+    for set_lines in cache._sets:
+        assert len(set_lines) <= 2
+        tags = [line.tag for line in set_lines]
+        assert len(tags) == len(set(tags))
+    for block in cache.resident_blocks():
+        assert cache.contains(cache.addr_of(block))

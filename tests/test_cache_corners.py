@@ -1,0 +1,107 @@
+"""Corner-case tests for the cache model's less-travelled paths."""
+
+from repro.cache.cache import Cache
+from repro.cache.hierarchy import MemoryHierarchy
+from repro.core.config import CacheConfig, baseline_config
+from repro.mechanisms.base import Mechanism, ProbeResult
+from repro.mechanisms.registry import create
+
+
+def _cache(**kwargs):
+    defaults = dict(size=1024, assoc=2, line_size=32, latency=1, ports=2,
+                    mshr_entries=4, mshr_reads=2)
+    defaults.update(kwargs)
+    config = CacheConfig("t", **defaults)
+    cache = Cache(config)
+    cache.fetch_next = lambda addr, time, pc, is_prefetch: time + 50
+    cache.writeback_next = lambda addr, time: None
+    return cache
+
+
+class _AlwaysProbe(Mechanism):
+    """A mechanism whose side structure claims every missing line."""
+
+    LEVEL = "l1"
+    ACRONYM = "ALWAYS"
+
+    def probe(self, block, time):
+        return ProbeResult(latency=2, dirty=True)
+
+
+def test_probe_hit_installs_into_a_full_set():
+    cache = _cache()
+    mech = _AlwaysProbe()
+    mech.cache = cache
+    cache.mechanism = mech
+    t = 0
+    # Fill set 0 (blocks 0 and 32 map to set 0 with 16 sets... use spacing
+    # of n_sets * line = 16 * 32 = 512 bytes).
+    for addr in (0x0, 0x200, 0x400):
+        t = cache.access(1, addr, t + 5, False)
+    # Probe hits installed all three; the set still holds only two lines.
+    set0 = cache._sets[0]
+    assert len(set0) <= 2
+    # Probe-installed lines carry the probe's dirty state.
+    assert any(line.dirty for line in set0)
+    assert cache.st_aux_hits.value == 3
+
+
+def test_write_to_merged_in_flight_line_sets_dirty():
+    cache = _cache()
+    cache.access(1, 0x100, 0, is_write=False)         # miss, in flight
+    cache.access(1, 0x110, 2, is_write=True)          # merges, writes
+    line = cache.peek(0x100)
+    assert line is not None
+    assert line.dirty
+
+
+def test_instruction_cache_stats_are_separate():
+    h = MemoryHierarchy(baseline_config())
+    h.fetch_instruction(0x400, 0)
+    assert h.l1i.st_reads.value == 1
+    assert h.l1d.st_reads.value == 0
+
+
+def test_instruction_fills_do_not_train_data_mechanisms():
+    tp = create("TP")
+    h = MemoryHierarchy(baseline_config(), mechanism=tp)
+    # A cold instruction fetch misses L1I and the L2.
+    h.fetch_instruction(0x123400, 0)
+    assert h.l2.st_read_misses.value == 1
+    assert tp.st_prefetches.value == 0  # invisible to the data mechanism
+
+
+def test_data_misses_do_train_mechanisms():
+    tp = create("TP")
+    h = MemoryHierarchy(baseline_config(), mechanism=tp)
+    h.load(0x400, 0x123400, 0)
+    assert tp.st_prefetches.value == 1
+
+
+def test_prefetch_insert_respects_mshr_budget():
+    cache = _cache(mshr_entries=2)
+    assert cache.insert_prefetch(0x1000, ready=100, time=0)
+    assert cache.insert_prefetch(0x2000, ready=100, time=0)
+    # Both MSHRs busy: the third prefetch is refused without side effects.
+    assert not cache.insert_prefetch(0x3000, ready=100, time=0)
+    assert not cache.contains(0x3000)
+    # After the fills complete, capacity frees up again.
+    assert cache.insert_prefetch(0x3000, ready=220, time=150)
+
+
+def test_can_accept_prefetch_reflects_occupancy():
+    cache = _cache(mshr_entries=1)
+    assert cache.can_accept_prefetch(0)
+    cache.access(1, 0x100, 0, False)
+    assert not cache.can_accept_prefetch(1)
+    assert cache.can_accept_prefetch(10_000)
+
+
+def test_imprecise_cache_always_accepts_prefetches():
+    config = CacheConfig("t", size=1024, assoc=2, line_size=32, latency=1,
+                         ports=2, mshr_entries=1, mshr_reads=2)
+    cache = Cache(config, precise=False, infinite_mshr=True)
+    cache.fetch_next = lambda addr, time, pc, is_prefetch: time + 50
+    for i in range(10):
+        assert cache.can_accept_prefetch(0)
+        assert cache.insert_prefetch(0x1000 * (i + 1), ready=100, time=0)

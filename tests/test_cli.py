@@ -1,0 +1,55 @@
+"""Tests for the ``python -m repro`` command-line front end."""
+
+import pytest
+
+from repro.__main__ import EXHIBITS, main
+
+
+def test_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "swim" in out and "GHB" in out and "fig4" in out
+
+
+def test_run_single_simulation(capsys):
+    assert main(["run", "swim", "TP", "--n", "2000"]) == 0
+    out = capsys.readouterr().out
+    assert "speedup=" in out and "ipc=" in out
+
+
+def test_exhibit_table5(capsys):
+    assert main(["table5"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 5" in out
+
+
+def test_exhibit_with_subset(capsys):
+    assert main(["fig6", "--n", "2500", "--benchmarks", "swim,gzip,art"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 6" in out and "swim" in out
+
+
+def test_run_requires_benchmark():
+    with pytest.raises(SystemExit):
+        main(["run"])
+
+
+def test_unknown_command():
+    with pytest.raises(SystemExit):
+        main(["fig99"])
+
+
+def test_all_exhibits_registered():
+    assert set(EXHIBITS) == {
+        "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+        "fig9", "fig10", "fig11",
+        "table1", "table2", "table3", "table4", "table5", "table6", "table7",
+        "matrix",
+    }
+
+
+def test_static_table_exhibits(capsys):
+    for name in ("table1", "table2", "table3", "table4"):
+        assert main([name]) == 0
+    out = capsys.readouterr().out
+    assert "128-RUU" in out and "markov_table" in out

@@ -1,0 +1,131 @@
+"""Tests for the Table 1 machine configuration."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.config import (
+    CacheConfig,
+    MEMORY_CONSTANT,
+    MEMORY_SDRAM,
+    MEMORY_SDRAM_FAST,
+    SDRAMConfig,
+    baseline_config,
+    sdram70_config,
+)
+
+
+class TestTable1Values:
+    """The baseline must match the paper's Table 1 exactly."""
+
+    def test_core(self):
+        core = baseline_config().core
+        assert core.ruu_size == 128
+        assert core.lsq_size == 128
+        assert core.fetch_width == 8
+        assert core.issue_width == 8
+        assert core.commit_width == 8
+        assert (core.int_alu, core.int_mul) == (8, 3)
+        assert (core.fp_alu, core.fp_mul) == (6, 2)
+        assert core.lsu == 4
+
+    def test_l1_data_cache(self):
+        l1d = baseline_config().l1d
+        assert l1d.size == 32 << 10
+        assert l1d.assoc == 1          # direct-mapped
+        assert l1d.line_size == 32
+        assert l1d.latency == 1
+        assert l1d.ports == 4
+        assert l1d.mshr_entries == 8
+        assert l1d.mshr_reads == 4
+        assert l1d.writeback and l1d.allocate_on_write
+
+    def test_l2_cache(self):
+        l2 = baseline_config().l2
+        assert l2.size == 1 << 20
+        assert l2.assoc == 4
+        assert l2.line_size == 64
+        assert l2.latency == 12
+        assert l2.ports == 1
+        assert l2.mshr_entries == 8
+
+    def test_buses(self):
+        config = baseline_config()
+        assert config.l1_l2_bus.width_bytes == 32
+        assert config.l1_l2_bus.cpu_cycles_per_transfer == 1
+        assert config.memory_bus.width_bytes == 64
+        # 2 GHz core / 400 MHz bus = 5 CPU cycles per transfer.
+        assert config.memory_bus.cpu_cycles_per_transfer == 5
+
+    def test_sdram_timings(self):
+        sdram = baseline_config().sdram
+        assert sdram.banks == 4
+        assert sdram.rows == 8192
+        assert sdram.columns == 1024
+        assert sdram.ras_to_ras == 20
+        assert sdram.ras_active == 80
+        assert sdram.ras_to_cas == 30
+        assert sdram.cas_latency == 30
+        assert sdram.ras_precharge == 30
+        assert sdram.ras_cycle == 110
+        assert sdram.queue_entries == 32
+
+
+class TestCacheConfig:
+    def test_derived_geometry(self):
+        cache = CacheConfig("t", size=32 << 10, assoc=1, line_size=32, latency=1)
+        assert cache.n_sets == 1024
+        assert cache.n_lines == 1024
+
+    def test_rejects_indivisible_geometry(self):
+        with pytest.raises(ValueError):
+            CacheConfig("t", size=1000, assoc=1, line_size=32, latency=1)
+
+    def test_rejects_non_power_of_two_sets(self):
+        with pytest.raises(ValueError):
+            CacheConfig("t", size=96 << 10, assoc=1, line_size=32, latency=1)
+
+
+class TestVariants:
+    def test_memory_model_selector(self):
+        config = baseline_config()
+        assert config.memory_model == MEMORY_SDRAM
+        assert config.with_memory_model(MEMORY_CONSTANT).memory_model == MEMORY_CONSTANT
+        assert config.with_memory_model(MEMORY_SDRAM_FAST).memory_model == MEMORY_SDRAM_FAST
+        with pytest.raises(ValueError):
+            config.with_memory_model("bogus")
+
+    def test_infinite_mshr_variant(self):
+        config = baseline_config().with_infinite_mshr()
+        assert config.infinite_mshr
+        assert config.precise_cache  # still otherwise precise
+
+    def test_simplescalar_cache_variant(self):
+        config = baseline_config().with_simplescalar_cache()
+        assert not config.precise_cache
+        assert config.infinite_mshr
+
+    def test_variants_do_not_mutate_the_original(self):
+        config = baseline_config()
+        config.with_infinite_mshr()
+        assert not config.infinite_mshr
+
+
+class TestSDRAMScaling:
+    def test_scaled_reduces_all_timings(self):
+        scaled = SDRAMConfig().scaled(1 / 3)
+        original = SDRAMConfig()
+        for name in ("ras_to_cas", "cas_latency", "ras_precharge",
+                     "ras_cycle", "ras_active", "ras_to_ras"):
+            assert getattr(scaled, name) < getattr(original, name)
+            assert getattr(scaled, name) >= 1
+
+    def test_sdram70_is_roughly_a_third(self):
+        fast = sdram70_config()
+        assert fast.cas_latency == 10
+        assert fast.ras_cycle == round(110 / 3)
+
+    def test_geometry_untouched_by_scaling(self):
+        scaled = SDRAMConfig().scaled(0.5)
+        assert scaled.banks == 4
+        assert scaled.rows == 8192

@@ -1,0 +1,140 @@
+"""Tests for the SDRAM model, controller and constant-latency memory."""
+
+import pytest
+
+from repro.core.config import SDRAMConfig
+from repro.dram.constant import ConstantLatencyMemory
+from repro.dram.controller import SDRAMController
+from repro.dram.scheduling import (
+    LINEAR_INTERLEAVE,
+    PERMUTATION_INTERLEAVE,
+    ROW_BYTES,
+    AddressMapping,
+)
+from repro.dram.sdram import SDRAM
+
+CFG = SDRAMConfig()
+
+
+class TestAddressMapping:
+    def test_consecutive_rows_rotate_banks_linear(self):
+        mapping = AddressMapping(CFG, LINEAR_INTERLEAVE)
+        banks = [mapping.map(i * ROW_BYTES)[0] for i in range(4)]
+        assert banks == [0, 1, 2, 3]
+
+    def test_same_row_for_addresses_within_row(self):
+        mapping = AddressMapping(CFG, LINEAR_INTERLEAVE)
+        assert mapping.map(64) == mapping.map(ROW_BYTES - 64)
+
+    def test_permutation_spreads_conflicting_rows(self):
+        linear = AddressMapping(CFG, LINEAR_INTERLEAVE)
+        permuted = AddressMapping(CFG, PERMUTATION_INTERLEAVE)
+        # Addresses one bank-round apart: same bank under linear mapping.
+        stride = ROW_BYTES * CFG.banks
+        linear_banks = {linear.map(i * stride)[0] for i in range(8)}
+        permuted_banks = {permuted.map(i * stride)[0] for i in range(8)}
+        assert len(linear_banks) == 1
+        assert len(permuted_banks) > 1
+
+    def test_rejects_unknown_scheme(self):
+        with pytest.raises(ValueError):
+            AddressMapping(CFG, "striped")
+
+
+class TestSDRAM:
+    def test_row_hit_pays_cas_only(self):
+        sdram = SDRAM(CFG)
+        first = sdram.access(0, time=0)
+        second = sdram.access(64, time=first)
+        assert second - first == CFG.cas_latency
+        assert sdram.st_row_hits.value == 1
+
+    def test_cold_access_pays_activate_plus_cas(self):
+        sdram = SDRAM(CFG)
+        ready = sdram.access(0, time=0)
+        assert ready == CFG.ras_to_cas + CFG.cas_latency
+
+    def test_row_conflict_pays_precharge_activate_cas(self):
+        sdram = SDRAM(CFG)
+        mapping = sdram.mapping
+        base_bank, base_row = mapping.map(0)
+        # Find an address on the same bank but a different row.
+        conflict = next(
+            addr for addr in range(ROW_BYTES, ROW_BYTES * 64, ROW_BYTES)
+            if mapping.map(addr)[0] == base_bank
+            and mapping.map(addr)[1] != base_row
+        )
+        t1 = sdram.access(0, time=0)
+        t2 = sdram.access(conflict, time=t1)
+        # Precharge waits for tRAS from the activate, then tRP + tRCD + CL.
+        assert t2 - t1 >= CFG.ras_precharge + CFG.ras_to_cas + CFG.cas_latency
+        assert sdram.st_precharges.value == 1
+
+    def test_trc_enforced_between_same_bank_activates(self):
+        sdram = SDRAM(CFG)
+        mapping = sdram.mapping
+        base_bank, _ = mapping.map(0)
+        conflict = next(
+            addr for addr in range(ROW_BYTES, ROW_BYTES * 64, ROW_BYTES)
+            if mapping.map(addr)[0] == base_bank
+            and mapping.map(addr)[1] != mapping.map(0)[1]
+        )
+        sdram.access(0, time=0)
+        sdram.access(conflict, time=0)
+        bank = sdram.banks[base_bank]
+        assert bank.activate_time >= CFG.ras_cycle
+
+    def test_bank_interleaving_hides_activates(self):
+        """Accesses to different banks overlap their activates (RAS-to-RAS
+        permitting), unlike same-bank conflicts."""
+        sdram = SDRAM(CFG, scheme=LINEAR_INTERLEAVE)
+        t1 = sdram.access(0, time=0)
+        t2 = sdram.access(ROW_BYTES, time=0)  # different bank
+        assert t2 - t1 <= CFG.ras_to_ras  # nearly fully overlapped
+
+    def test_average_latency(self):
+        sdram = SDRAM(CFG)
+        sdram.access(0, time=0)
+        assert sdram.average_latency == CFG.ras_to_cas + CFG.cas_latency
+
+    def test_reset(self):
+        sdram = SDRAM(CFG)
+        sdram.access(0, time=0)
+        sdram.reset()
+        assert sdram.st_accesses.value == 0
+        assert all(bank.open_row is None for bank in sdram.banks)
+
+
+class TestSDRAMController:
+    def test_queue_full_delays_admission(self):
+        config = SDRAMConfig(queue_entries=2)
+        controller = SDRAMController(config)
+        t1 = controller.access(0, time=0)
+        t2 = controller.access(1 << 20, time=0)
+        controller.access(2 << 20, time=0)  # third: must wait for a slot
+        assert controller.st_queue_stall.value > 0
+        assert min(t1, t2) <= controller.st_queue_stall.value + max(t1, t2)
+
+    def test_latency_includes_queue_wait(self):
+        config = SDRAMConfig(queue_entries=1)
+        controller = SDRAMController(config)
+        controller.access(0, time=0)
+        controller.access(1 << 20, time=0)
+        assert controller.average_latency > controller.device.average_latency / 2
+
+    def test_writes_occupy_but_complete(self):
+        controller = SDRAMController(CFG)
+        ready = controller.access(0, time=0, is_write=True)
+        assert ready > 0
+
+
+class TestConstantLatencyMemory:
+    def test_fixed_latency(self):
+        memory = ConstantLatencyMemory(70)
+        assert memory.access(0x1234, time=10) == 80
+        assert memory.access(0x9999, time=10) == 80  # unlimited bandwidth
+        assert memory.average_latency == 70
+
+    def test_rejects_bad_latency(self):
+        with pytest.raises(ValueError):
+            ConstantLatencyMemory(0)

@@ -1,0 +1,150 @@
+"""Tests for the experiment harness (small-scale driver runs).
+
+These use tiny traces and benchmark subsets so the whole file stays fast;
+the benchmarks/ directory runs the same drivers at full scale.
+"""
+
+import pytest
+
+from repro.harness import (
+    fig1_model_validation,
+    fig2_reveng_error,
+    fig3_dbcp_fix,
+    fig4_speedup,
+    fig5_cost_power,
+    fig6_sensitivity,
+    fig7_sensitivity_subsets,
+    fig8_memory_model,
+    fig9_mshr,
+    fig10_second_guessing,
+    fig11_trace_selection,
+    main_sweep,
+    table5_prior_comparisons,
+    table6_subset_winners,
+    table7_selection_ranking,
+)
+from repro.harness.experiments import clear_sweep_cache
+
+SMALL = ("swim", "gzip", "art", "crafty")
+N = 4000
+
+
+@pytest.fixture(autouse=True, scope="module")
+def _fresh_cache():
+    clear_sweep_cache()
+    yield
+    clear_sweep_cache()
+
+
+def test_main_sweep_is_memoised():
+    first = main_sweep(benchmarks=SMALL, n_instructions=N,
+                       mechanisms=("Base", "TP"))
+    second = main_sweep(benchmarks=SMALL, n_instructions=N,
+                        mechanisms=("Base", "TP"))
+    assert first is second
+
+
+def test_fig1_reports_model_difference():
+    result = fig1_model_validation(benchmarks=SMALL[:2], n_instructions=N)
+    assert result.exhibit == "Figure 1"
+    assert len(result.rows) == 2
+    assert result.summary["avg_abs_ipc_diff_pct"] > 0
+    assert "Figure 1" in result.render()
+
+
+def test_fig2_reveng_error_structure():
+    result = fig2_reveng_error(benchmarks=SMALL[:2], n_instructions=N)
+    mechanisms = {row["mechanism"] for row in result.rows}
+    assert mechanisms == {"TK", "TCP", "TKVC"}
+    assert result.summary["avg_error_pct"] >= 0
+
+
+def test_fig3_dbcp_variants():
+    result = fig3_dbcp_fix(benchmarks=("art", "gzip"), n_instructions=N)
+    for row in result.rows:
+        assert {"benchmark", "initial", "fixed", "tk"} <= set(row)
+    assert "fixed_dbcp_mean_speedup" in result.summary
+
+
+def test_fig4_ranking():
+    result = fig4_speedup(benchmarks=SMALL, n_instructions=N)
+    assert len(result.rows) == 13
+    speedups = [row["mean_speedup"] for row in result.rows]
+    assert speedups == sorted(speedups, reverse=True)
+    assert result.rows[0]["mechanism"] == result.summary["winner"]
+
+
+def test_fig5_cost_power_rows():
+    result = fig5_cost_power(benchmarks=SMALL, n_instructions=N)
+    by_name = {row["mechanism"]: row for row in result.rows}
+    assert by_name["Markov"]["cost_ratio"] > by_name["SP"]["cost_ratio"]
+    assert all(row["power_ratio"] >= 1.0 for row in result.rows)
+
+
+def test_table5_static():
+    result = table5_prior_comparisons()
+    pairs = {(row["newer"], row["compared_against"]) for row in result.rows}
+    assert ("GHB", "SP") in pairs
+    assert ("TK", "DBCP") in pairs
+
+
+def test_table6_winner_search():
+    result = table6_subset_winners(benchmarks=SMALL, n_instructions=N,
+                                   sizes=(1, 2))
+    assert {row["n_benchmarks"] for row in result.rows} == {1, 2}
+    for row in result.rows:
+        assert row["count"] >= 1
+
+
+def test_table7_selection_ranking():
+    result = table7_selection_ranking(benchmarks=SMALL, n_instructions=N)
+    labels = {row["selection"] for row in result.rows}
+    assert "all" in labels
+
+
+def test_fig6_and_fig7_sensitivity():
+    result6 = fig6_sensitivity(benchmarks=SMALL, n_instructions=N)
+    spreads = [row["speedup_spread"] for row in result6.rows]
+    assert spreads == sorted(spreads, reverse=True)
+    result7 = fig7_sensitivity_subsets(benchmarks=SMALL, n_instructions=N,
+                                       k=2)
+    assert {row["subset"] for row in result7.rows} == {
+        "all", "high_sensitivity", "low_sensitivity"
+    }
+
+
+def test_fig8_memory_models():
+    result = fig8_memory_model(benchmarks=SMALL[:2], n_instructions=N)
+    mech_rows = [row for row in result.rows if "mechanism" in row]
+    assert all({"constant70", "sdram", "sdram70"} <= set(row)
+               for row in mech_rows)
+    latency_rows = [row for row in result.rows if "benchmark" in row]
+    assert latency_rows  # per-benchmark SDRAM latency reported
+
+
+def test_fig9_mshr():
+    result = fig9_mshr(benchmarks=SMALL[:2], n_instructions=N)
+    assert all({"finite_mshr", "infinite_mshr"} <= set(row)
+               for row in result.rows)
+
+
+def test_fig10_tcp_queue():
+    result = fig10_second_guessing(benchmarks=SMALL[:2], n_instructions=N)
+    assert all({"queue_1", "queue_128"} <= set(row) for row in result.rows)
+    assert result.summary["max_abs_speedup_diff"] >= 0
+
+
+def test_fig11_trace_selection():
+    result = fig11_trace_selection(
+        benchmarks=SMALL[:2], n_instructions=2000,
+        mechanisms=("Base", "TP", "SP"),
+    )
+    assert {row["mechanism"] for row in result.rows} == {"TP", "SP"}
+    assert result.summary["n_mechanisms"] == 2.0
+
+
+def test_render_produces_readable_text():
+    result = table5_prior_comparisons()
+    text = result.render()
+    assert text.startswith("== Table 5")
+    assert "GHB" in text

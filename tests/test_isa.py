@@ -1,0 +1,63 @@
+"""Tests for the trace-record format and operation metadata."""
+
+from repro.isa.instr import (
+    ADDR,
+    DEP,
+    EXTRA,
+    FU_LATENCY,
+    FU_POOL,
+    MEM_OPS,
+    OP,
+    PC,
+    Op,
+    make_branch,
+    make_load,
+    make_op,
+    make_store,
+)
+
+
+def test_field_indices_are_distinct_and_cover_record():
+    assert sorted((OP, PC, ADDR, DEP, EXTRA)) == [0, 1, 2, 3, 4]
+
+
+def test_make_load():
+    record = make_load(0x400, 0x1000, dep=3)
+    assert record[OP] == Op.LOAD
+    assert record[PC] == 0x400
+    assert record[ADDR] == 0x1000
+    assert record[DEP] == 3
+    assert record[EXTRA] == 0
+
+
+def test_make_store_carries_value():
+    record = make_store(0x404, 0x2000, value=42)
+    assert record[OP] == Op.STORE
+    assert record[EXTRA] == 42
+
+
+def test_make_branch_mispredict_flag():
+    assert make_branch(0x40)[EXTRA] == 0
+    assert make_branch(0x40, mispredicted=True)[EXTRA] == 1
+
+
+def test_make_op_non_memory():
+    record = make_op(Op.FP_MUL, 0x10, dep=1)
+    assert record[OP] == Op.FP_MUL
+    assert record[ADDR] == 0
+
+
+def test_every_op_has_latency_and_pool():
+    for op in Op:
+        assert FU_LATENCY[op] >= 1
+        assert FU_POOL[op] in ("int_alu", "int_mul", "fp_alu", "fp_mul", "lsu")
+
+
+def test_memory_ops_share_load_store_units():
+    assert FU_POOL[Op.LOAD] == FU_POOL[Op.STORE] == "lsu"
+    assert set(MEM_OPS) == {int(Op.LOAD), int(Op.STORE)}
+
+
+def test_latency_ordering_matches_hardware_intuition():
+    assert FU_LATENCY[Op.INT_ALU] <= FU_LATENCY[Op.INT_MUL]
+    assert FU_LATENCY[Op.FP_ALU] <= FU_LATENCY[Op.FP_MUL]

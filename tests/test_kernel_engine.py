@@ -1,0 +1,121 @@
+"""Unit tests for the discrete-event scheduler."""
+
+import pytest
+
+from repro.kernel.engine import Simulator
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule(30, fired.append, "c")
+    sim.schedule(10, fired.append, "a")
+    sim.schedule(20, fired.append, "b")
+    sim.run()
+    assert fired == ["a", "b", "c"]
+    assert sim.now == 30
+
+
+def test_simultaneous_events_fire_in_scheduling_order():
+    sim = Simulator()
+    fired = []
+    for tag in range(5):
+        sim.schedule(7, fired.append, tag)
+    sim.run()
+    assert fired == [0, 1, 2, 3, 4]
+
+
+def test_run_until_stops_at_boundary_and_advances_clock():
+    sim = Simulator()
+    fired = []
+    sim.schedule(5, fired.append, "early")
+    sim.schedule(15, fired.append, "late")
+    sim.run_until(10)
+    assert fired == ["early"]
+    assert sim.now == 10
+    sim.run_until(20)
+    assert fired == ["early", "late"]
+    assert sim.now == 20
+
+
+def test_event_at_boundary_is_included():
+    sim = Simulator()
+    fired = []
+    sim.schedule(10, fired.append, "edge")
+    sim.run_until(10)
+    assert fired == ["edge"]
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    fired = []
+    keep = sim.schedule(5, fired.append, "keep")
+    drop = sim.schedule(5, fired.append, "drop")
+    drop.cancel()
+    sim.run()
+    assert fired == ["keep"]
+    assert keep.time == 5
+
+
+def test_schedule_in_relative_delay():
+    sim = Simulator()
+    fired = []
+    sim.schedule(10, lambda: sim.schedule_in(5, fired.append, "x"))
+    sim.run()
+    assert fired == ["x"]
+    assert sim.now == 15
+
+
+def test_schedule_in_rejects_negative_delay():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.schedule_in(-1, lambda: None)
+
+
+def test_schedule_in_past_clamps_to_now():
+    sim = Simulator()
+    sim.schedule(10, lambda: None)
+    sim.run()
+    fired = []
+    event = sim.schedule(3, fired.append, "late")
+    assert event.time == 10
+    sim.run()
+    assert fired == ["late"]
+
+
+def test_events_scheduled_during_run_are_processed():
+    sim = Simulator()
+    fired = []
+
+    def chain(n):
+        fired.append(n)
+        if n < 3:
+            sim.schedule_in(10, chain, n + 1)
+
+    sim.schedule(0, chain, 0)
+    sim.run()
+    assert fired == [0, 1, 2, 3]
+    assert sim.now == 30
+
+
+def test_peek_time_skips_cancelled_events():
+    sim = Simulator()
+    first = sim.schedule(5, lambda: None)
+    sim.schedule(9, lambda: None)
+    first.cancel()
+    assert sim.peek_time() == 9
+
+
+def test_peek_time_empty_queue():
+    assert Simulator().peek_time() is None
+
+
+def test_reset_clears_queue_and_clock():
+    sim = Simulator()
+    sim.schedule(5, lambda: None)
+    sim.run()
+    sim.schedule(99, lambda: None)
+    sim.reset()
+    assert sim.now == 0
+    assert sim.pending == 0
+    assert sim.peek_time() is None

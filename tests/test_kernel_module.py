@@ -1,0 +1,81 @@
+"""Unit tests for the MicroLib component model."""
+
+import pytest
+
+from repro.kernel.module import Component, Port, StatCounter
+
+
+def test_hierarchy_paths():
+    root = Component("machine")
+    cache = Component("l1", parent=root)
+    mech = Component("vc", parent=cache)
+    assert root.path == "machine"
+    assert cache.path == "machine.l1"
+    assert mech.path == "machine.l1.vc"
+    assert list(root.walk()) == [root, cache, mech]
+
+
+def test_stats_declaration_and_report():
+    root = Component("m")
+    child = Component("c", parent=root)
+    hits = child.add_stat("hits", "cache hits")
+    hits.add()
+    hits.add(2)
+    report = root.stats_report()
+    assert report == {"m.c.hits": 3}
+
+
+def test_duplicate_stat_rejected():
+    comp = Component("x")
+    comp.add_stat("s")
+    with pytest.raises(ValueError):
+        comp.add_stat("s")
+
+
+def test_reset_stats_recursive():
+    root = Component("m")
+    child = Component("c", parent=root)
+    stat = child.add_stat("n")
+    stat.add(5)
+    root.reset_stats()
+    assert stat.value == 0
+
+
+def test_port_binding_is_symmetric():
+    a = Component("a")
+    b = Component("b")
+    pa = a.add_port("out")
+    pb = b.add_port("in")
+    pa.bind(pb)
+    assert pa.peer is pb
+    assert pb.peer is pa
+    assert pa.bound and pb.bound
+    assert pa.qualified_name == "a.out"
+
+
+def test_rebinding_a_port_is_an_error():
+    a, b, c = Component("a"), Component("b"), Component("c")
+    pa, pb, pc = a.add_port("p"), b.add_port("p"), c.add_port("p")
+    pa.bind(pb)
+    with pytest.raises(ValueError):
+        pa.bind(pc)
+
+
+def test_duplicate_port_rejected():
+    comp = Component("x")
+    comp.add_port("p")
+    with pytest.raises(ValueError):
+        comp.add_port("p")
+
+
+def test_params():
+    comp = Component("x")
+    comp.set_param("size", 1024)
+    assert comp.params["size"] == 1024
+
+
+def test_stat_counter_reset():
+    stat = StatCounter("s")
+    stat.add(7)
+    stat.reset()
+    assert stat.value == 0

@@ -1,0 +1,137 @@
+"""Behavioural tests for content-directed prefetching and CDP+SP."""
+
+from repro.cache.hierarchy import MemoryHierarchy
+from repro.core.config import baseline_config
+from repro.core.simulation import run_trace
+from repro.isa.instr import make_load
+from repro.mechanisms.registry import create
+from repro.workloads.image import MemoryImage
+from repro.workloads.patterns import PointerChaseEngine
+
+import random
+
+
+def _chase_setup(n_nodes=256, node_size=64, next_offset=0, **kwargs):
+    image = MemoryImage()
+    engine = PointerChaseEngine(0x10000000, random.Random(5), n_nodes=n_nodes,
+                                node_size=node_size, next_offset=next_offset,
+                                n_chains=1, **kwargs)
+    engine.setup(image, value_locality=0.2)
+    from repro.isa.instr import Op, make_op
+    trace = []
+    for _ in range(n_nodes * 3):
+        trace.append(make_load(0x400, engine.next(), dep=4))
+        trace.append(make_op(Op.INT_ALU, 0x408, dep=1))
+        trace.append(make_op(Op.INT_ALU, 0x40C))
+        trace.append(make_op(Op.INT_ALU, 0x410))
+    return trace, image
+
+
+def test_scans_fills_and_finds_pointers():
+    trace, image = _chase_setup()
+    cdp = create("CDP")
+    run_trace(trace, cdp, image=image)
+    assert cdp.st_lines_scanned.value > 0
+    assert cdp.st_candidates.value > 0
+
+
+def test_speeds_up_clean_pointer_chains():
+    trace, image = _chase_setup()
+    base = run_trace(trace, image=image)
+    cdp = run_trace(trace, create("CDP"), image=image)
+    assert cdp.ipc > base.ipc * 1.02
+
+
+def test_inert_without_an_image():
+    trace, _ = _chase_setup()
+    cdp = create("CDP")
+    run_trace(trace, cdp, image=None)
+    assert cdp.st_lines_scanned.value == 0
+
+
+def test_ammp_layout_defeats_cdp():
+    """Next pointer at byte 88 of 96-byte nodes: the prefetched line never
+    contains the word the demand will touch, so CDP gains nothing while a
+    clean layout gains clearly (Section 3.1's ammp story)."""
+    clean_trace, clean_image = _chase_setup()
+    ammp_trace, ammp_image = _chase_setup(node_size=96, next_offset=88)
+    clean_gain = (run_trace(clean_trace, create("CDP"), image=clean_image).ipc
+                  / run_trace(clean_trace, image=clean_image).ipc)
+    ammp_gain = (run_trace(ammp_trace, create("CDP"), image=ammp_image).ipc
+                 / run_trace(ammp_trace, image=ammp_image).ipc)
+    assert clean_gain > 1.02
+    assert ammp_gain < clean_gain - 0.01
+
+
+def test_decoy_pointers_waste_bandwidth():
+    """Decoy payloads pointing at never-visited memory (the mcf trap)
+    multiply prefetch traffic without a matching gain."""
+    clean_trace, clean_image = _chase_setup()
+    decoy_trace, decoy_image = _chase_setup()
+    # Plant decoys by hand: every node's second word points into a region
+    # the traversal never touches (but that passes the pointer test).
+    decoy_region = 0x30000000
+    decoy_image.note_heap(decoy_region, decoy_region + (1 << 20))
+    for slot in range(256):
+        node = 0x10000000 + slot * 64
+        decoy_image.write(node + 8, decoy_region + slot * 4096)
+    clean_mech = create("CDP")
+    decoy_mech = create("CDP")
+    clean = run_trace(clean_trace, clean_mech, image=clean_image)
+    decoy = run_trace(decoy_trace, decoy_mech, image=decoy_image)
+    clean_base = run_trace(clean_trace, image=clean_image)
+    decoy_base = run_trace(decoy_trace, image=decoy_image)
+    # Decoys add real memory traffic...
+    assert decoy.memory_accesses > clean.memory_accesses * 1.15
+    # ...without improving the outcome.
+    decoy_gain = decoy.ipc / decoy_base.ipc
+    clean_gain = clean.ipc / clean_base.ipc
+    assert decoy_gain < clean_gain + 0.02
+
+
+def test_depth_threshold_bounds_the_chase():
+    cdp = create("CDP")
+    h = MemoryHierarchy(baseline_config(), mechanism=cdp)
+    # _scan at the threshold depth must not emit.
+    cdp._scan(block=100, depth=cdp.DEPTH_THRESHOLD, time=0)
+    assert cdp.st_lines_scanned.value == 0
+
+
+class TestCDPSP:
+    def test_composite_exposes_both_queues(self):
+        cdpsp = create("CDPSP")
+        queues = list(cdpsp.iter_queues())
+        assert len(queues) == 2
+        assert {q.capacity for q in queues} == {1, 128}
+
+    def test_covers_both_strides_and_pointers(self):
+        from repro.isa.instr import Op, make_op
+        chase_trace, image = _chase_setup()
+        trace = list(chase_trace)
+        # Append a strided phase (with filler so prefetches can issue).
+        for i in range(400):
+            trace.append(make_load(0x800, 0x20000000 + i * 256))
+            for k in range(19):
+                trace.append(make_op(Op.INT_ALU, 0x810 + 4 * k))
+        base = run_trace(trace, image=image)
+        combo = run_trace(trace, create("CDPSP"), image=image)
+        sp_only = run_trace(trace, create("SP"), image=image)
+        cdp_only = run_trace(trace, create("CDP"), image=image)
+        assert combo.ipc > base.ipc
+        assert combo.ipc >= max(sp_only.ipc, cdp_only.ipc) * 0.95
+
+    def test_aggregated_table_accesses(self):
+        trace, image = _chase_setup()
+        cdpsp = create("CDPSP")
+        run_trace(trace, cdpsp, image=image)
+        assert cdpsp.total_table_accesses >= (
+            cdpsp.sp.st_table_accesses.value
+        )
+
+    def test_structures_union(self):
+        cdpsp = create("CDPSP")
+        from repro.core.simulation import build_machine
+        build_machine(mechanism=cdpsp)
+        names = {spec.name for spec in cdpsp.structures()}
+        assert any("sp_" in name for name in names)
+        assert any("cdp_" in name for name in names)

@@ -1,0 +1,134 @@
+"""Tests for the mechanism registry and the plug-in base class."""
+
+import pytest
+
+from repro.mechanisms.base import Mechanism, PrefetchQueue, PrefetchRequest
+from repro.mechanisms.registry import (
+    ALL_MECHANISMS,
+    BASELINE,
+    create,
+    mechanism_info,
+)
+
+
+def test_thirteen_entries_in_paper_order():
+    assert len(ALL_MECHANISMS) == 13
+    assert ALL_MECHANISMS[0] == BASELINE
+    assert ALL_MECHANISMS[-1] == "GHB"
+
+
+def test_create_baseline_returns_none():
+    assert create(BASELINE) is None
+
+
+def test_baseline_rejects_kwargs():
+    with pytest.raises(ValueError):
+        create(BASELINE, variant="x")
+
+
+def test_create_every_mechanism():
+    for name in ALL_MECHANISMS:
+        mechanism = create(name)
+        if name == BASELINE:
+            continue
+        assert isinstance(mechanism, Mechanism)
+        assert mechanism.ACRONYM == name
+        assert mechanism.LEVEL in ("l1", "l2")
+
+
+def test_unknown_mechanism_raises():
+    with pytest.raises(KeyError):
+        create("NEXTLINE9000")
+
+
+def test_info_matches_table2():
+    for name in ALL_MECHANISMS:
+        info = mechanism_info(name)
+        assert info.acronym == name
+        assert info.description
+    assert mechanism_info("TP").year == 1982
+    assert mechanism_info("VC").year == 1990
+    assert mechanism_info("SP").year == 1992
+    assert mechanism_info("Markov").year == 1997
+    assert mechanism_info("GHB").year == 2004
+    assert mechanism_info("TP").level == "l2"
+    assert mechanism_info("VC").level == "l1"
+
+
+def test_variant_kwargs_forwarded():
+    dbcp = create("DBCP", variant="initial")
+    assert dbcp.variant == "initial"
+    tcp = create("TCP", queue_size=1)
+    assert tcp.queue.capacity == 1
+    tk = create("TK", reverse_engineered=True)
+    assert tk.reverse_engineered
+
+
+def test_table3_parameters():
+    assert create("TP").QUEUE_SIZE == 16
+    assert create("SP").QUEUE_SIZE == 1
+    assert create("SP").PC_ENTRIES == 512
+    assert create("Markov").QUEUE_SIZE == 16
+    assert create("Markov").TABLE_BYTES == 1 << 20
+    assert create("Markov").PREDICTIONS_PER_ENTRY == 4
+    assert create("Markov").BUFFER_LINES == 128
+    assert create("DBCP").HISTORY_ENTRIES == 1024
+    assert create("DBCP").CORR_BYTES == 2 << 20
+    assert create("CDP").DEPTH_THRESHOLD == 3
+    assert create("CDP").QUEUE_SIZE == 128
+    assert create("TCP").THT_SETS == 1024
+    assert create("TCP").PHT_BYTES == 8 << 10
+    assert create("TCP").QUEUE_SIZE == 128
+    assert create("GHB").IT_ENTRIES == 256
+    assert create("GHB").GHB_ENTRIES == 256
+    assert create("GHB").QUEUE_SIZE == 4
+    assert create("VC").SIZE_BYTES == 512
+    assert create("FVC").N_LINES == 1024
+    assert create("FVC").N_FREQUENT == 7
+    assert create("TK").CORR_BYTES == 8 << 10
+
+
+def test_every_mechanism_declares_structures():
+    from repro.core.simulation import build_machine
+    for name in ALL_MECHANISMS:
+        if name == BASELINE:
+            continue
+        mechanism = create(name)
+        build_machine(mechanism=mechanism)
+        specs = mechanism.structures()
+        assert specs, f"{name} declares no hardware structures"
+        assert all(s.size_bytes >= 0 for s in specs)
+
+
+class TestPrefetchQueue:
+    def test_fifo_order(self):
+        queue = PrefetchQueue(4)
+        for i in range(3):
+            assert queue.push(PrefetchRequest(i, 0))
+        assert queue.pop().addr == 0
+        assert queue.pop().addr == 1
+
+    def test_overflow_drops(self):
+        queue = PrefetchQueue(2)
+        queue.push(PrefetchRequest(1, 0))
+        queue.push(PrefetchRequest(2, 0))
+        assert not queue.push(PrefetchRequest(3, 0))
+        assert queue.dropped == 1
+        assert len(queue) == 2
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            PrefetchQueue(0)
+
+    def test_emit_without_queue_raises(self):
+        from repro.mechanisms.victim import VictimCache
+        with pytest.raises(RuntimeError):
+            VictimCache().emit_prefetch(0x100, 0)
+
+
+def test_double_attach_rejected():
+    from repro.core.simulation import build_machine
+    vc = create("VC")
+    build_machine(mechanism=vc)
+    with pytest.raises(RuntimeError):
+        build_machine(mechanism=vc)

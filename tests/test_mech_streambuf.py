@@ -1,0 +1,76 @@
+"""Behavioural tests for the stream-buffer library extension."""
+
+from repro.cache.hierarchy import MemoryHierarchy
+from repro.core.config import baseline_config
+from repro.core.simulation import run_trace
+from repro.isa.instr import Op, make_load, make_op
+from repro.mechanisms.registry import ALL_MECHANISMS, EXTENSIONS, create
+
+L1_LINE = 32
+
+
+def _stream_trace(n, stride=L1_LINE, base=0x100000, pc=0x400, filler=7):
+    records = []
+    for i in range(n):
+        records.append(make_load(pc, base + i * stride))
+        records.append(make_op(Op.INT_ALU, pc + 8, dep=1))
+        for k in range(filler - 1):
+            records.append(make_op(Op.INT_ALU, pc + 12 + 4 * k))
+    return records
+
+
+def test_extension_is_registered_but_not_in_the_paper_set():
+    assert "SB" in EXTENSIONS
+    assert "SB" not in ALL_MECHANISMS
+    sb = create("SB")
+    assert sb.ACRONYM == "SB"
+    assert sb.LEVEL == "l1"
+
+
+def test_head_hits_cover_a_sequential_stream():
+    trace = _stream_trace(800)
+    base = run_trace(trace)
+    sb = create("SB")
+    result = run_trace(trace, sb)
+    assert sb.st_head_hits.value > 200
+    assert result.ipc > base.ipc * 1.03
+
+
+def test_allocation_on_unmatched_miss():
+    sb = create("SB")
+    h = MemoryHierarchy(baseline_config(), mechanism=sb)
+    h.load(1, 0x100000, 0)
+    assert sb.st_allocations.value == 1
+
+
+def test_four_streams_track_four_interleaved_sequences():
+    sb = create("SB")
+    h = MemoryHierarchy(baseline_config(), mechanism=sb)
+    bases = [0x100000, 0x900000, 0x1100000, 0x1900000]
+    t = 0
+    for round_ in range(12):
+        for base in bases:
+            t = max(t + 50, h.load(1, base + round_ * L1_LINE, t + 50))
+    # After warm-up every stream should be producing head hits.
+    assert sb.st_head_hits.value > 8
+    assert sb.st_allocations.value <= 12  # not constantly reallocating
+
+
+def test_useless_on_random_traffic():
+    import random
+    rng = random.Random(5)
+    trace = []
+    for i in range(600):
+        trace.append(make_load(0x400, 0x100000 + rng.randrange(1 << 14) * 32))
+        trace.append(make_op(Op.INT_ALU, 0x408))
+    sb = create("SB")
+    run_trace(trace, sb)
+    assert sb.st_head_hits.value < 20
+
+
+def test_structures_declared():
+    sb = create("SB")
+    from repro.core.simulation import build_machine
+    build_machine(mechanism=sb)
+    specs = {s.name for s in sb.structures()}
+    assert "sb_buffers" in specs

@@ -1,0 +1,142 @@
+"""Behavioural tests for the victim-cache family: VC, TKVC, FVC."""
+
+from repro.cache.hierarchy import MemoryHierarchy
+from repro.core.config import baseline_config
+from repro.core.simulation import run_trace
+from repro.isa.instr import make_load
+from repro.mechanisms.registry import create
+from repro.workloads.image import MemoryImage
+from repro.workloads.patterns import FREQUENT_VALUES
+
+L1_SPAN = 32 << 10  # addresses this far apart share a direct-mapped L1 set
+
+
+def _conflict_trace(n, ways=2, pc=0x400, base=0x100000):
+    """Round-robin over `ways` lines colliding in one L1 set."""
+    return [make_load(pc, base + (i % ways) * L1_SPAN) for i in range(n)]
+
+
+def _hierarchy(mechanism, image=None):
+    return MemoryHierarchy(baseline_config(), mechanism=mechanism, image=image)
+
+
+class TestVictimCache:
+    def test_absorbs_conflict_misses(self):
+        trace = _conflict_trace(2500)
+        base = run_trace(trace)
+        vc = run_trace(trace, create("VC"))
+        assert vc.ipc > base.ipc * 1.05
+        assert vc.stats["memory.l1d.aux_hits"] > 500
+
+    def test_swap_semantics(self):
+        vc = create("VC")
+        h = _hierarchy(vc)
+        t = h.load(1, 0x100000, 0)
+        t = h.load(1, 0x100000 + L1_SPAN, t + 10)  # evicts first into VC
+        assert len(vc) == 1
+        t = h.load(1, 0x100000, t + 10)            # VC hit, swap back
+        assert vc.st_probe_hits.value == 1
+        assert h.l1d.contains(0x100000)
+
+    def test_capacity_is_sixteen_lines(self):
+        vc = create("VC")
+        h = _hierarchy(vc)
+        assert vc.capacity == 16  # 512 B / 32 B lines
+        t = 0
+        for i in range(40):      # force > 16 captures
+            t = h.load(1, 0x100000 + (i % 20) * L1_SPAN, t + 60) + 1
+        assert len(vc) <= 16
+
+    def test_dirty_victims_written_back_on_vc_eviction(self):
+        vc = create("VC")
+        h = _hierarchy(vc)
+        t = h.store(1, 0x100000, 7, 0)
+        # Push 20 victims through the same set to age the dirty one out.
+        for i in range(1, 21):
+            t = h.load(1, 0x100000 + i * L1_SPAN, t + 60) + 1
+        assert vc.st_writebacks.value >= 1
+
+    def test_useless_for_streaming(self):
+        trace = [make_load(1, 0x100000 + i * 64) for i in range(1500)]
+        vc = create("VC")
+        run_trace(trace, vc)
+        assert vc.st_probe_hits.value == 0
+
+
+class TestTimekeepingVictimCache:
+    def test_captures_live_victims_only(self):
+        tkvc = create("TKVC")
+        h = _hierarchy(tkvc)
+        # Conflict pair: evictions happen shortly after use (live victims).
+        t = 0
+        for i in range(40):
+            t = h.load(1, 0x100000 + (i % 2) * L1_SPAN, t + 20) + 1
+        live_captures = tkvc.st_captures.value
+        assert live_captures > 0
+
+    def test_bypasses_dead_victims(self):
+        tkvc = create("TKVC")
+        h = _hierarchy(tkvc)
+        t = h.load(1, 0x100000, 0)
+        # A very long idle gap: the line is dead when finally evicted.
+        h.load(1, 0x100000 + L1_SPAN, t + 50_000)
+        assert tkvc.st_bypassed.value >= 1
+
+    def test_reverse_engineered_variant_inverts_filter(self):
+        normal = create("TKVC")
+        inverted = create("TKVC", reverse_engineered=True)
+        assert normal.should_capture(live=True)
+        assert not normal.should_capture(live=False)
+        assert not inverted.should_capture(live=True)
+        assert inverted.should_capture(live=False)
+
+
+class TestFrequentValueCache:
+    def _value_local_image(self, addrs):
+        image = MemoryImage()
+        for addr in addrs:
+            for off in range(0, 32, 8):
+                image.write(addr + off, FREQUENT_VALUES[0])
+        return image
+
+    def test_captures_compressible_victims(self):
+        addrs = [0x100000, 0x100000 + L1_SPAN]
+        image = self._value_local_image(addrs)
+        fvc = create("FVC")
+        h = _hierarchy(fvc, image=image)
+        t = 0
+        for i in range(60):
+            t = h.load(1, addrs[i % 2], t + 30) + 1
+        assert fvc.st_captures.value > 0
+        assert fvc.st_probe_hits.value > 0
+
+    def test_rejects_incompressible_victims(self):
+        # Many distinct lines of unique garbage: no small value set covers
+        # them, so the frequent-value filter rejects (almost) all of them.
+        image = MemoryImage()  # untouched lines read as unique garbage
+        fvc = create("FVC")
+        h = _hierarchy(fvc, image=image)
+        t = 0
+        for i in range(300):
+            addr = 0x100000 + (i % 39) * 64 + (i % 2) * L1_SPAN
+            t = h.load(1, addr, t + 30) + 1
+        assert fvc.st_incompressible.value > 0
+        assert fvc.st_captures.value < fvc.st_incompressible.value
+
+    def test_frequent_value_table_freezes_after_warmup(self):
+        image = self._value_local_image([0x100000])
+        fvc = create("FVC")
+        h = _hierarchy(fvc, image=image)
+        t = 0
+        for i in range(fvc.WARMUP_SAMPLES // 4 + 64):
+            t = h.load(1, 0x100000 + (i % 2) * L1_SPAN, t + 30) + 1
+        assert fvc._frequent is not None
+        assert len(fvc.frequent_values()) <= fvc.N_FREQUENT
+
+    def test_needs_an_image(self):
+        fvc = create("FVC")
+        h = _hierarchy(fvc, image=None)
+        t = 0
+        for i in range(10):
+            t = h.load(1, 0x100000 + (i % 2) * L1_SPAN, t + 30) + 1
+        assert fvc.st_captures.value == 0

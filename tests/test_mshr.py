@@ -1,0 +1,113 @@
+"""Tests for the miss-status-holding-register file."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+import pytest
+
+from repro.cache.mshr import MSHRFile
+
+
+def test_lookup_merges_secondary_miss():
+    mshr = MSHRFile(capacity=4, reads_per_entry=4)
+    mshr.insert(10, ready_time=100)
+    assert mshr.lookup(10, 5) == 100
+    assert mshr.merges == 1
+
+
+def test_lookup_misses_unknown_block():
+    mshr = MSHRFile(capacity=4)
+    assert mshr.lookup(99, 0) is None
+
+
+def test_merge_budget_exhaustion_is_flagged():
+    mshr = MSHRFile(capacity=4, reads_per_entry=2)
+    mshr.insert(10, ready_time=100)
+    assert mshr.lookup(10, 0) == 100   # second read: merges
+    assert mshr.lookup(10, 0) == 100   # third read: rejected but completes
+    assert mshr.merge_rejects == 1
+
+
+def test_entry_expires_after_ready_time():
+    mshr = MSHRFile(capacity=4)
+    mshr.insert(10, ready_time=50)
+    assert mshr.lookup(10, 51) is None
+    assert mshr.occupancy(51) == 0
+
+
+def test_allocate_time_stalls_when_full():
+    mshr = MSHRFile(capacity=2)
+    mshr.insert(1, ready_time=100)
+    mshr.insert(2, ready_time=60)
+    assert mshr.allocate_time(10) == 60   # waits for the earliest completion
+    assert mshr.full_stalls == 1
+
+
+def test_allocate_time_immediate_with_space():
+    mshr = MSHRFile(capacity=2)
+    mshr.insert(1, ready_time=100)
+    assert mshr.allocate_time(10) == 10
+
+
+def test_infinite_capacity_never_stalls_or_rejects():
+    mshr = MSHRFile(capacity=None)
+    for block in range(100):
+        mshr.insert(block, ready_time=1000)
+    assert mshr.allocate_time(0) == 0
+    for _ in range(10):
+        assert mshr.lookup(5, 0) == 1000
+    assert mshr.merge_rejects == 0
+
+
+def test_occupancy_counts_only_in_flight_entries():
+    mshr = MSHRFile(capacity=8)
+    mshr.insert(1, ready_time=20)
+    mshr.insert(2, ready_time=40)
+    assert mshr.occupancy(10) == 2
+    assert mshr.occupancy(30) == 1
+    assert mshr.occupancy(50) == 0
+
+
+def test_reinserted_block_uses_fresh_completion():
+    mshr = MSHRFile(capacity=8)
+    mshr.insert(1, ready_time=20)
+    assert mshr.occupancy(25) == 0
+    mshr.insert(1, ready_time=60)
+    assert mshr.lookup(1, 30) == 60
+
+
+def test_rejects_bad_parameters():
+    with pytest.raises(ValueError):
+        MSHRFile(capacity=0)
+    with pytest.raises(ValueError):
+        MSHRFile(capacity=4, reads_per_entry=0)
+
+
+def test_reset():
+    mshr = MSHRFile(capacity=2)
+    mshr.insert(1, ready_time=100)
+    mshr.reset()
+    assert mshr.occupancy(0) == 0
+    assert mshr.lookup(1, 0) is None
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    capacity=st.integers(min_value=1, max_value=8),
+    misses=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=30),    # block
+                  st.integers(min_value=1, max_value=50)),   # latency
+        min_size=1, max_size=60,
+    ),
+)
+def test_occupancy_never_exceeds_capacity(capacity, misses):
+    """Property: allocate_time + insert keep occupancy within capacity."""
+    mshr = MSHRFile(capacity=capacity, reads_per_entry=4)
+    time = 0
+    for block, latency in misses:
+        time += 1
+        if mshr.lookup(block, time) is not None:
+            continue
+        when = mshr.allocate_time(time)
+        assert when >= time
+        mshr.insert(block, when + latency)
+        assert mshr.occupancy(when) <= capacity

@@ -1,0 +1,185 @@
+"""Tests for the address-pattern engines."""
+
+import random
+
+import pytest
+
+from repro.workloads.image import MemoryImage
+from repro.workloads.patterns import (
+    ConflictEngine,
+    FREQUENT_VALUES,
+    HotZipfEngine,
+    LoopSequenceEngine,
+    PointerChaseEngine,
+    RandomEngine,
+    StrideEngine,
+)
+
+BASE = 0x1000_0000
+
+
+def _rng():
+    return random.Random(42)
+
+
+class TestStrideEngine:
+    def test_walks_with_fixed_stride_and_wraps(self):
+        engine = StrideEngine(BASE, _rng(), working_set=64, stride=16)
+        addrs = [engine.next() for _ in range(6)]
+        assert addrs == [BASE, BASE + 16, BASE + 32, BASE + 48, BASE, BASE + 16]
+
+    def test_rejects_zero_stride(self):
+        with pytest.raises(ValueError):
+            StrideEngine(BASE, _rng(), working_set=64, stride=0)
+
+    def test_setup_initialises_region(self):
+        image = MemoryImage()
+        engine = StrideEngine(BASE, _rng(), working_set=256, stride=8)
+        engine.setup(image, value_locality=1.0)
+        assert image.read(BASE) in FREQUENT_VALUES
+
+
+class TestRandomEngine:
+    def test_addresses_stay_in_region_and_aligned(self):
+        engine = RandomEngine(BASE, _rng(), working_set=1024)
+        for _ in range(200):
+            addr = engine.next()
+            assert BASE <= addr < BASE + 1024
+            assert addr % 8 == 0
+
+
+class TestHotZipfEngine:
+    def test_skew_concentrates_accesses(self):
+        engine = HotZipfEngine(BASE, _rng(), working_set=8192, skew=0.8)
+        counts = {}
+        for _ in range(2000):
+            addr = engine.next()
+            counts[addr] = counts.get(addr, 0) + 1
+        top = sorted(counts.values(), reverse=True)
+        # The hottest 8 of 1024 words take a vastly super-uniform share.
+        assert sum(top[:8]) > 0.2 * 2000
+        assert sum(top[:64]) > 0.55 * 2000
+
+    def test_rejects_bad_skew(self):
+        with pytest.raises(ValueError):
+            HotZipfEngine(BASE, _rng(), working_set=1024, skew=0.4)
+
+
+class TestLoopSequenceEngine:
+    def test_sequence_repeats_exactly_without_noise(self):
+        engine = LoopSequenceEngine(BASE, _rng(), working_set=8192,
+                                    sequence_length=16, noise=0.0)
+        lap1 = [engine.next() for _ in range(16)]
+        lap2 = [engine.next() for _ in range(16)]
+        assert lap1 == lap2
+
+    def test_conflict_sets_collide_in_l1(self):
+        engine = LoopSequenceEngine(BASE, _rng(), working_set=8192,
+                                    sequence_length=64, noise=0.0,
+                                    conflict_sets=8, way_span=32 << 10)
+        addrs = {engine.next() for _ in range(64)}
+        l1_sets = {(addr >> 5) & 1023 for addr in addrs}
+        # 8 conflict slots of 64 bytes -> at most 16 distinct L1 sets.
+        assert len(l1_sets) <= 16
+        ways = {addr // (32 << 10) for addr in addrs}
+        assert len(ways) >= 4  # several colliding ways
+
+
+class TestConflictEngine:
+    def test_rotates_ways_within_same_l1_set(self):
+        engine = ConflictEngine(BASE, _rng(), n_ways=2, set_stride=32 << 10,
+                                n_sets_used=1)
+        a, b, c = engine.next(), engine.next(), engine.next()
+        assert a != b and a == c
+        assert ((a >> 5) & 1023) == ((b >> 5) & 1023)  # same L1 set
+
+
+class TestPointerChaseEngine:
+    def _engine(self, **kwargs):
+        image = MemoryImage()
+        engine = PointerChaseEngine(BASE, _rng(), n_nodes=64, node_size=64,
+                                    next_offset=0, n_chains=1, **kwargs)
+        engine.setup(image, value_locality=0.3)
+        return engine, image
+
+    def test_requires_setup(self):
+        engine = PointerChaseEngine(BASE, _rng(), n_nodes=8)
+        with pytest.raises(RuntimeError):
+            engine.next()
+
+    def test_traversal_follows_stored_pointers(self):
+        engine, image = self._engine()
+        addr1 = engine.next()
+        addr2 = engine.next()
+        # The second address is the pointer stored at the first.
+        assert addr2 == image.read(addr1) + 0  # next_offset == 0
+
+    def test_chain_is_a_permutation_cycle(self):
+        engine, _ = self._engine()
+        seen = [engine.next() for _ in range(64)]
+        assert len(set(seen)) == 64  # visits every node once per cycle
+        again = [engine.next() for _ in range(64)]
+        assert seen == again
+
+    def test_heap_range_registered_for_cdp(self):
+        _, image = self._engine()
+        assert image.heap_lo == BASE
+        assert image.heap_hi == BASE + 64 * 64
+
+    def test_ammp_pathology_next_offset_beyond_line(self):
+        """CDP prefetches the pointer target's base line, but with the next
+        pointer 88 bytes into a 96-byte node the demand access always lands
+        in a *different* 64-byte line — the prefetch is systematically
+        useless (Section 3.1)."""
+        image = MemoryImage()
+        engine = PointerChaseEngine(BASE, _rng(), n_nodes=16, node_size=96,
+                                    next_offset=88, n_chains=1)
+        engine.setup(image, value_locality=0.3)
+        for _ in range(16):
+            addr = engine.next()          # demand address: node + 88
+            node = addr - 88
+            target = image.read(addr)     # pointer value: next node base
+            # CDP would prefetch line(target); the demand will touch
+            # line(target + 88) — always a different 64-byte line.
+            assert (target + 88) // 64 != target // 64
+            assert (node - BASE) % 96 == 0  # nodes are 96-byte slots
+
+    def test_payload_pointers_produce_decoys(self):
+        image = MemoryImage()
+        engine = PointerChaseEngine(BASE, _rng(), n_nodes=32, node_size=64,
+                                    next_offset=0, n_chains=1,
+                                    payload_pointers=1.0)
+        engine.setup(image, value_locality=0.3)
+        addr = engine.next()
+        node = addr  # next_offset == 0
+        words = image.read_line(node & ~63, 64)
+        pointer_like = [w for w in words if image.looks_like_pointer(w)]
+        assert len(pointer_like) >= 4  # next pointer plus decoys
+
+    def test_opaque_hops_still_traverse(self):
+        image = MemoryImage()
+        engine = PointerChaseEngine(BASE, _rng(), n_nodes=32, node_size=64,
+                                    next_offset=0, n_chains=1,
+                                    opaque_hops=1.0)
+        engine.setup(image, value_locality=0.3)
+        addrs = [engine.next() for _ in range(50)]
+        assert all(BASE <= a < BASE + 32 * 64 for a in addrs)
+
+    def test_n_next_validation(self):
+        with pytest.raises(ValueError):
+            PointerChaseEngine(BASE, _rng(), node_size=16, next_offset=8,
+                               n_next=2)
+        with pytest.raises(ValueError):
+            PointerChaseEngine(BASE, _rng(), n_next=0)
+
+    def test_branching_chains_have_multiple_pointers(self):
+        image = MemoryImage()
+        engine = PointerChaseEngine(BASE, _rng(), n_nodes=32, node_size=64,
+                                    next_offset=0, n_chains=1, n_next=2)
+        engine.setup(image, value_locality=0.3)
+        addr = engine.next()
+        node = addr - (addr - BASE) % 64
+        first = image.read(node)
+        second = image.read(node + 8)
+        assert image.looks_like_pointer(first)
+        assert image.looks_like_pointer(second)

@@ -1,0 +1,102 @@
+"""System-level property tests: invariants that must hold for any input."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import SDRAMConfig, baseline_config
+from repro.core.simulation import run_trace
+from repro.dram.sdram import SDRAM
+from repro.isa.instr import Op, make_branch, make_load, make_op, make_store
+
+
+@st.composite
+def small_traces(draw):
+    """Random well-formed traces mixing all operation classes."""
+    n = draw(st.integers(min_value=10, max_value=300))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = random.Random(seed)
+    records = []
+    for i in range(n):
+        r = rng.random()
+        pc = 0x400 + (i % 32) * 4
+        if r < 0.3:
+            addr = 0x100000 + rng.randrange(1 << 12) * 8
+            records.append(make_load(pc, addr, dep=rng.randrange(0, min(i + 1, 8))))
+        elif r < 0.4:
+            addr = 0x100000 + rng.randrange(1 << 12) * 8
+            records.append(make_store(pc, addr, rng.randrange(1 << 20)))
+        elif r < 0.5:
+            records.append(make_branch(pc, mispredicted=rng.random() < 0.2))
+        else:
+            op = rng.choice([Op.INT_ALU, Op.INT_MUL, Op.FP_ALU, Op.FP_MUL])
+            records.append(make_op(op, pc, dep=rng.randrange(0, min(i + 1, 8))))
+    return records
+
+
+@settings(max_examples=25, deadline=None)
+@given(small_traces())
+def test_core_timing_invariants(trace):
+    result = run_trace(trace, warmup_fraction=0.0)
+    # The machine is 8-wide: cycles cannot undercut instructions / 8.
+    assert result.cycles >= len(trace) / 8 - 1
+    assert 0 <= result.l1_miss_rate <= 1
+    assert 0 <= result.l2_miss_rate <= 1
+    assert result.instructions == len(trace)
+    assert result.avg_load_latency >= 0
+
+
+@settings(max_examples=10, deadline=None)
+@given(small_traces())
+def test_simulation_is_deterministic(trace):
+    a = run_trace(trace, warmup_fraction=0.0)
+    b = run_trace(trace, warmup_fraction=0.0)
+    assert a.cycles == b.cycles
+    assert a.ipc == b.ipc
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    addrs=st.lists(st.integers(min_value=0, max_value=1 << 26), min_size=1,
+                   max_size=80),
+)
+def test_sdram_timing_invariants(addrs):
+    """Data is never ready before presentation plus CAS latency, and
+    activates to one bank always respect tRC."""
+    config = SDRAMConfig()
+    sdram = SDRAM(config)
+    time = 0
+    activates = {}
+    for addr in addrs:
+        ready = sdram.access(addr, time)
+        assert ready >= time + config.cas_latency
+        bank_idx, _ = sdram.mapping.map(addr)
+        bank = sdram.banks[bank_idx]
+        if bank_idx in activates and bank.activate_time != activates[bank_idx]:
+            assert bank.activate_time - activates[bank_idx] >= config.ras_cycle
+        activates[bank_idx] = bank.activate_time
+        time += 3
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=1000),
+    mech=st.sampled_from(["TP", "SP", "GHB", "VC", "Markov", "TK"]),
+)
+def test_mechanisms_never_corrupt_cache_invariants(seed, mech):
+    """Any mechanism, any random traffic: per-set occupancy stays legal."""
+    from repro.mechanisms.registry import create
+    rng = random.Random(seed)
+    trace = []
+    for i in range(200):
+        addr = 0x100000 + rng.randrange(1 << 10) * 32
+        trace.append(make_load(0x400 + (i % 8) * 4, addr))
+    mechanism = create(mech)
+    result = run_trace(trace, mechanism, warmup_fraction=0.0)
+    cache = mechanism.cache
+    for set_lines in cache._sets:
+        assert len(set_lines) <= cache.config.assoc
+        tags = [line.tag for line in set_lines]
+        assert len(tags) == len(set(tags))
+    assert result.instructions == 200

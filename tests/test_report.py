@@ -1,0 +1,36 @@
+"""Tests for the EXPERIMENTS.md report generator."""
+
+from pathlib import Path
+
+from repro.harness.report import EXHIBITS, build_report, main
+
+
+def test_every_paper_exhibit_is_covered():
+    stems = {stem for stem, _, _ in EXHIBITS}
+    for figure in range(1, 12):
+        assert f"figure_{figure}" in stems
+    for table in (5, 6, 7):
+        assert f"table_{table}" in stems
+
+
+def test_build_report_with_missing_outputs(tmp_path):
+    text = build_report(tmp_path)
+    assert "not yet measured" in text
+    assert "paper vs. measured" in text
+    assert text.count("**Paper:**") == len(EXHIBITS)
+
+
+def test_build_report_embeds_measured_rows(tmp_path):
+    (tmp_path / "figure_4.txt").write_text(
+        "== Figure 4: Average IPC speedup ==\n  mechanism=GHB  x=1.2\n"
+    )
+    text = build_report(tmp_path)
+    assert "mechanism=GHB" in text
+    assert "## Figure 4: Average IPC speedup" in text
+
+
+def test_main_writes_file(tmp_path):
+    out = tmp_path / "EXP.md"
+    assert main(["--out", str(out), "--bench-out", str(tmp_path)]) == 0
+    assert out.exists()
+    assert "paper vs. measured" in out.read_text()

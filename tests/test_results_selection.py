@@ -1,0 +1,160 @@
+"""Tests for ResultSet, rankings, and the subset-winner search."""
+
+import pytest
+
+from repro.core.results import ResultSet
+from repro.core.selection import (
+    count_possible_winners,
+    find_winning_subset,
+    rank_mechanisms,
+    ranking_positions,
+    ranking_table,
+    winners_by_subset_size,
+)
+from repro.core.sensitivity import benchmark_sensitivity, sensitivity_split
+from repro.core.simulation import RunResult
+
+
+def _result(mechanism, benchmark, ipc):
+    return RunResult(
+        benchmark=benchmark, mechanism=mechanism, ipc=ipc, cycles=1000,
+        instructions=1000, l1_miss_rate=0.1, l2_miss_rate=0.2,
+        avg_load_latency=10.0, avg_memory_latency=100.0, memory_accesses=50,
+        prefetches_issued=0, useful_prefetches=0,
+        mechanism_table_accesses=0,
+    )
+
+
+def _grid(ipc_table):
+    """ipc_table: {mechanism: {benchmark: ipc}}; must include 'Base'."""
+    results = ResultSet()
+    for mechanism, row in ipc_table.items():
+        for benchmark, ipc in row.items():
+            results.add(_result(mechanism, benchmark, ipc))
+    return results
+
+
+BASIC = _grid({
+    "Base": {"a": 1.0, "b": 1.0, "c": 1.0},
+    "X": {"a": 1.5, "b": 0.9, "c": 1.0},     # wins a, mean 1.133
+    "Y": {"a": 1.0, "b": 1.2, "c": 1.1},     # wins b and c, mean 1.1
+})
+
+
+class TestResultSet:
+    def test_speedups(self):
+        assert BASIC.speedup("X", "a") == pytest.approx(1.5)
+        assert BASIC.mean_speedup("Y") == pytest.approx((1.0 + 1.2 + 1.1) / 3)
+
+    def test_duplicate_rejected(self):
+        results = ResultSet()
+        results.add(_result("Base", "a", 1.0))
+        with pytest.raises(ValueError):
+            results.add(_result("Base", "a", 1.1))
+
+    def test_missing_lookup_raises(self):
+        with pytest.raises(KeyError):
+            BASIC.get("Z", "a")
+
+    def test_subset(self):
+        sub = BASIC.subset(["a"])
+        assert sub.benchmarks == ["a"]
+        assert sub.speedup("X", "a") == pytest.approx(1.5)
+
+    def test_json_round_trip(self):
+        text = BASIC.to_json()
+        back = ResultSet.from_json(text)
+        assert back.mechanisms == BASIC.mechanisms
+        assert back.speedup("X", "a") == pytest.approx(1.5)
+
+    def test_empty_selection_rejected(self):
+        with pytest.raises(ValueError):
+            BASIC.mean_speedup("X", [])
+
+    def test_speedup_row(self):
+        row = BASIC.speedup_row("Y")
+        assert set(row) == {"a", "b", "c"}
+
+
+class TestRanking:
+    def test_rank_order(self):
+        ranked = rank_mechanisms(BASIC)
+        assert [name for name, _ in ranked] == ["X", "Y", "Base"]
+
+    def test_positions(self):
+        positions = ranking_positions(BASIC)
+        assert positions["X"] == 1
+        assert positions["Base"] == 3
+
+    def test_ranking_depends_on_selection(self):
+        positions_b = ranking_positions(BASIC, ["b", "c"])
+        assert positions_b["Y"] == 1
+        assert positions_b["X"] == 3  # X loses b and ties c
+
+    def test_ranking_table(self):
+        table = ranking_table(BASIC, {"all": ["a", "b", "c"], "bc": ["b", "c"]})
+        assert table["all"]["X"] == 1
+        assert table["bc"]["Y"] == 1
+
+
+class TestWinnerSearch:
+    def test_finds_witness_for_each_winnable_mechanism(self):
+        subset = find_winning_subset(BASIC, "X", 1)
+        assert subset == ["a"]
+        subset = find_winning_subset(BASIC, "Y", 1)
+        assert subset in (["b"], ["c"])
+
+    def test_witness_actually_wins(self):
+        for mechanism in ("X", "Y"):
+            for size in (1, 2, 3):
+                subset = find_winning_subset(BASIC, mechanism, size)
+                if subset is None:
+                    continue
+                ranked = rank_mechanisms(BASIC, subset)
+                assert ranked[0][0] == mechanism
+
+    def test_hopeless_mechanism_returns_none(self):
+        grid = _grid({
+            "Base": {"a": 1.0, "b": 1.0},
+            "Loser": {"a": 0.5, "b": 0.5},
+            "Winner": {"a": 2.0, "b": 2.0},
+        })
+        assert find_winning_subset(grid, "Loser", 1) is None
+        assert find_winning_subset(grid, "Loser", 2) is None
+
+    def test_size_exceeding_benchmarks_raises(self):
+        with pytest.raises(ValueError):
+            find_winning_subset(BASIC, "X", 99)
+
+    def test_table6_shape(self):
+        table = winners_by_subset_size(BASIC)
+        assert set(table) == {1, 2, 3}
+        counts = count_possible_winners(table)
+        assert counts[1] >= 2  # both X and Y can win a 1-benchmark pick
+        # The full selection has exactly one winner.
+        assert counts[3] >= 1
+
+
+class TestSensitivity:
+    def test_spread(self):
+        sensitivity = benchmark_sensitivity(BASIC)
+        assert sensitivity["a"] == pytest.approx(0.5)   # 1.5 - 1.0
+        assert sensitivity["b"] == pytest.approx(0.3)   # 1.2 - 0.9
+
+    def test_split(self):
+        grid = _grid({
+            "Base": {b: 1.0 for b in "abcdef"},
+            "M": {"a": 2.0, "b": 1.8, "c": 1.5, "d": 1.1, "e": 1.05, "f": 1.0},
+        })
+        high, low = sensitivity_split(grid, k=2)
+        assert high == ["a", "b"]
+        assert set(low) == {"e", "f"}
+
+    def test_split_k_too_large(self):
+        with pytest.raises(ValueError):
+            sensitivity_split(BASIC, k=2)
+
+    def test_needs_non_baseline(self):
+        grid = _grid({"Base": {"a": 1.0}})
+        with pytest.raises(ValueError):
+            benchmark_sensitivity(grid)

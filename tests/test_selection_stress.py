@@ -1,0 +1,77 @@
+"""Stress tests for the benchmark-subset winner search (Table 6's engine)."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.results import ResultSet
+from repro.core.selection import find_winning_subset, rank_mechanisms
+from repro.core.simulation import RunResult
+
+
+def _result(mechanism, benchmark, ipc):
+    return RunResult(
+        benchmark=benchmark, mechanism=mechanism, ipc=ipc, cycles=1000,
+        instructions=1000, l1_miss_rate=0.1, l2_miss_rate=0.2,
+        avg_load_latency=10.0, avg_memory_latency=100.0, memory_accesses=50,
+        prefetches_issued=0, useful_prefetches=0, mechanism_table_accesses=0,
+    )
+
+
+def _random_grid(seed, n_mechanisms=5, n_benchmarks=8):
+    rng = random.Random(seed)
+    results = ResultSet()
+    benchmarks = [f"b{i}" for i in range(n_benchmarks)]
+    for benchmark in benchmarks:
+        results.add(_result("Base", benchmark, 1.0))
+    for m in range(n_mechanisms):
+        for benchmark in benchmarks:
+            results.add(_result(f"M{m}", benchmark,
+                                round(0.7 + rng.random() * 0.8, 4)))
+    return results
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000),
+       size=st.integers(min_value=1, max_value=8))
+def test_every_witness_actually_wins(seed, size):
+    """Soundness: any subset the heuristic returns crowns the mechanism."""
+    results = _random_grid(seed)
+    for mechanism in results.mechanisms:
+        subset = find_winning_subset(results, mechanism, size)
+        if subset is None:
+            continue
+        assert len(subset) == size
+        assert len(set(subset)) == size
+        winner, _ = rank_mechanisms(results, subset)[0]
+        assert winner == mechanism
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_the_overall_winner_always_has_a_full_witness(seed):
+    """Completeness floor: the true best mechanism wins the full set."""
+    results = _random_grid(seed)
+    winner, _ = rank_mechanisms(results)[0]
+    subset = find_winning_subset(results, winner, len(results.benchmarks))
+    assert subset is not None
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_per_benchmark_winners_have_singleton_witnesses(seed):
+    """Any mechanism that is strictly best on some benchmark must be found
+    for size 1 (the greedy seed makes this exact)."""
+    results = _random_grid(seed)
+    for benchmark in results.benchmarks:
+        best = max(results.mechanisms,
+                   key=lambda m: results.speedup(m, benchmark))
+        tied = [
+            m for m in results.mechanisms
+            if results.speedup(m, benchmark)
+            == results.speedup(best, benchmark)
+        ]
+        if len(tied) > 1:
+            continue  # exact ties cannot be "won" strictly
+        assert find_winning_subset(results, best, 1) is not None

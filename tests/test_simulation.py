@@ -1,0 +1,79 @@
+"""Tests for the simulation front door (run_benchmark / run_trace)."""
+
+import pytest
+
+from repro.core.config import baseline_config
+from repro.core.simulation import (
+    RunResult,
+    build_machine,
+    run_benchmark,
+    run_trace,
+)
+from repro.isa.instr import make_load
+from repro.mechanisms.registry import create
+
+
+def test_run_benchmark_end_to_end():
+    result = run_benchmark("swim", "Base", n_instructions=3000)
+    assert result.benchmark == "swim"
+    assert result.mechanism == "Base"
+    assert result.instructions == 2400  # 20% warm-up excluded
+    assert 0 < result.ipc < 8
+    assert 0 <= result.l1_miss_rate <= 1
+    assert result.stats  # detailed stats attached
+
+
+def test_run_benchmark_with_mechanism_kwargs():
+    result = run_benchmark(
+        "art", "TCP", n_instructions=2000,
+        mechanism_kwargs={"queue_size": 1},
+    )
+    assert result.mechanism == "TCP"
+
+
+def test_trace_window_simulates_a_slice():
+    full = run_benchmark("gcc", "Base", n_instructions=4000)
+    sliced = run_benchmark("gcc", "Base", n_instructions=4000,
+                           trace_window=(1000, 2000))
+    assert sliced.instructions == 1600  # 2000 minus warm-up
+    assert sliced.cycles != full.cycles
+
+
+def test_run_trace_custom():
+    trace = [make_load(0x400, 0x100000 + i * 8) for i in range(500)]
+    result = run_trace(trace, create("TP"), benchmark="unit")
+    assert result.benchmark == "unit"
+    assert result.mechanism == "TP"
+
+
+def test_run_trace_no_warmup():
+    trace = [make_load(0x400, 0x100000 + i * 8) for i in range(100)]
+    result = run_trace(trace, warmup_fraction=0.0)
+    assert result.instructions == 100
+
+
+def test_speedup_over_guards_benchmark_mismatch():
+    a = run_benchmark("swim", "Base", n_instructions=1000)
+    b = run_benchmark("gcc", "Base", n_instructions=1000)
+    with pytest.raises(ValueError):
+        a.speedup_over(b)
+
+
+def test_speedup_over_zero_base():
+    zero = RunResult("x", "Base", 0.0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0)
+    other = RunResult("x", "TP", 1.0, 10, 10, 0, 0, 0, 0, 0, 0, 0, 0)
+    assert other.speedup_over(zero) == 0.0
+
+
+def test_build_machine_shares_config():
+    config = baseline_config()
+    core, hierarchy = build_machine(config)
+    assert core.config is config.core
+    assert hierarchy.config is config
+
+
+def test_identical_runs_are_deterministic():
+    a = run_benchmark("vpr", "GHB", n_instructions=2500)
+    b = run_benchmark("vpr", "GHB", n_instructions=2500)
+    assert a.ipc == b.ipc
+    assert a.cycles == b.cycles

@@ -1,0 +1,122 @@
+"""Tests for the 26 SPEC CPU2000 stand-in specifications."""
+
+import pytest
+
+from repro.isa.instr import OP, Op
+from repro.workloads.registry import (
+    ALL_BENCHMARKS,
+    ARTICLE_SELECTIONS,
+    FP_BENCHMARKS,
+    HIGH_SENSITIVITY,
+    INT_BENCHMARKS,
+    LOW_SENSITIVITY,
+    build,
+    get_spec,
+)
+from repro.workloads.spec2000 import SPECS
+
+
+def test_exactly_26_benchmarks_in_paper_order():
+    assert len(ALL_BENCHMARKS) == 26
+    assert len(FP_BENCHMARKS) == 14
+    assert len(INT_BENCHMARKS) == 12
+    assert ALL_BENCHMARKS == FP_BENCHMARKS + INT_BENCHMARKS
+    assert ALL_BENCHMARKS[0] == "ammp"
+    assert ALL_BENCHMARKS[-1] == "vpr"
+
+
+def test_specs_cover_every_benchmark():
+    assert set(SPECS) == set(ALL_BENCHMARKS)
+
+
+def test_suites_are_consistent():
+    for name in FP_BENCHMARKS:
+        assert get_spec(name).suite == "fp"
+    for name in INT_BENCHMARKS:
+        assert get_spec(name).suite == "int"
+
+
+def test_unknown_benchmark_raises():
+    with pytest.raises(KeyError):
+        get_spec("linpack")
+
+
+def test_article_selections_match_table4_counts():
+    assert len(ARTICLE_SELECTIONS["DBCP"]) == 5
+    assert len(ARTICLE_SELECTIONS["GHB"]) == 12
+    assert ARTICLE_SELECTIONS["TK"] == ALL_BENCHMARKS
+    for selection in ARTICLE_SELECTIONS.values():
+        assert set(selection) <= set(ALL_BENCHMARKS)
+
+
+def test_sensitivity_groups_match_the_paper():
+    assert set(HIGH_SENSITIVITY) == {"apsi", "equake", "fma3d", "mgrid",
+                                     "swim", "gap"}
+    assert set(LOW_SENSITIVITY) == {"wupwise", "bzip2", "crafty", "eon",
+                                    "perlbmk", "vortex"}
+
+
+def test_every_benchmark_builds_and_is_cached():
+    for name in ("ammp", "mcf", "swim", "crafty"):
+        trace, image = build(name, 800)
+        assert len(trace) == 800
+        trace2, image2 = build(name, 800)
+        assert trace is trace2 and image is image2  # lru cache
+
+
+def test_distinct_seeds_give_distinct_traces():
+    trace_a, _ = build("gzip", 600)
+    trace_b, _ = build("bzip2", 600)
+    assert trace_a != trace_b
+
+
+def test_pointer_benchmarks_register_heap():
+    for name in ("mcf", "twolf", "equake", "parser", "ammp"):
+        _, image = build(name, 500)
+        assert image.heap_hi > image.heap_lo > 0
+
+
+def test_low_sensitivity_benchmarks_have_high_hot_share():
+    for name in LOW_SENSITIVITY:
+        spec = get_spec(name)
+        weights = {mix.kind: mix.weight for mix in spec.patterns}
+        assert weights.get("hot", 0) >= 0.9
+
+
+def test_high_sensitivity_benchmarks_have_substantial_miss_share():
+    for name in HIGH_SENSITIVITY:
+        spec = get_spec(name)
+        miss_share = sum(
+            mix.weight for mix in spec.patterns if mix.kind != "hot"
+        )
+        assert miss_share >= 0.2
+
+
+def test_ammp_has_the_cdp_hostile_node_layout():
+    spec = get_spec("ammp")
+    pointer = next(m for m in spec.patterns if m.kind == "pointer")
+    params = dict(pointer.params)
+    assert params["node_size"] == 96
+    assert params["next_offset"] == 88
+
+
+def test_mcf_is_the_decoy_pointer_trap():
+    spec = get_spec("mcf")
+    pointer = next(m for m in spec.patterns if m.kind == "pointer")
+    assert dict(pointer.params)["payload_pointers"] > 0.3
+
+
+def test_lucas_strides_cross_dram_rows():
+    spec = get_spec("lucas")
+    strides = [dict(m.params)["stride"] for m in spec.patterns
+               if m.kind == "stride"]
+    assert any(stride > 8192 for stride in strides)
+
+
+def test_fp_benchmarks_emit_fp_ops_and_int_do_not_dominate():
+    trace, _ = build("swim", 3000)
+    fp_ops = sum(1 for r in trace if r[OP] in (Op.FP_ALU, Op.FP_MUL))
+    assert fp_ops > 500
+    trace, _ = build("gcc", 3000)
+    fp_ops = sum(1 for r in trace if r[OP] in (Op.FP_ALU, Op.FP_MUL))
+    assert fp_ops == 0

@@ -1,0 +1,48 @@
+"""Tests for the configuration-table renderers and the matrix artifact."""
+
+from repro.harness.matrix import speedup_matrix
+from repro.harness.tables import (
+    table1_configuration,
+    table2_mechanisms,
+    table3_parameters,
+    table4_benchmarks,
+)
+
+
+def test_table1_reflects_live_config():
+    result = table1_configuration()
+    text = result.render()
+    assert "128-RUU, 128-LSQ" in text
+    assert "tRC 110" in text
+    assert "4 banks" in text
+
+
+def test_table2_lists_all_twelve():
+    result = table2_mechanisms()
+    acronyms = [row["acronym"] for row in result.rows]
+    assert len(acronyms) == 12
+    assert acronyms[0] == "TP" and acronyms[-1] == "GHB"
+    assert all(row["description"] for row in result.rows)
+
+
+def test_table3_reads_instantiated_sizes():
+    result = table3_parameters()
+    by_name = {row["acronym"]: row for row in result.rows}
+    assert "markov_table=1048576B" in by_name["Markov"]["structures"]
+    assert "dbcp_correlation=2097152B" in by_name["DBCP"]["structures"]
+    assert by_name["VC"]["request_queue"] == "-"
+    assert by_name["TCP"]["request_queue"] == 128
+
+
+def test_table4_matches_registry_selections():
+    result = table4_benchmarks()
+    by_name = {row["mechanism"]: row for row in result.rows}
+    assert by_name["TK"]["benchmarks"] == "(all 26)"
+    assert by_name["DBCP"]["n_benchmarks"] == 5
+
+
+def test_matrix_small_scale():
+    result = speedup_matrix(benchmarks=("swim", "gzip"), n_instructions=3000)
+    mech_rows = [r for r in result.rows if r["mechanism"] != "Base(IPC)"]
+    assert len(mech_rows) == 12
+    assert all({"swim", "gzip", "MEAN"} <= set(row) for row in mech_rows)

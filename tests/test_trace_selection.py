@@ -1,0 +1,103 @@
+"""Tests for BBV extraction, SimPoint and trace windows."""
+
+import numpy as np
+import pytest
+
+from repro.isa.instr import Op, make_load, make_op
+from repro.trace.bbv import basic_block_vectors
+from repro.trace.sampling import window
+from repro.trace.simpoint import pick_simpoint, simpoint_trace
+from repro.workloads.registry import build
+
+
+def _two_phase_trace(n_per_phase=4000):
+    """Phase A at PC region 0x1000, phase B at 0x9000."""
+    phase_a = [make_op(Op.INT_ALU, 0x1000 + (i % 16) * 4)
+               for i in range(n_per_phase)]
+    phase_b = [make_load(0x9000 + (i % 16) * 4, 0x100000 + i * 8)
+               for i in range(n_per_phase)]
+    return phase_a + phase_b
+
+
+class TestBBV:
+    def test_row_per_interval_l1_normalised(self):
+        trace = _two_phase_trace(2000)
+        matrix, blocks = basic_block_vectors(trace, interval=1000)
+        assert matrix.shape[0] == 4
+        assert len(blocks) == matrix.shape[1]
+        assert np.allclose(matrix.sum(axis=1), 1.0)
+
+    def test_phases_produce_distinct_vectors(self):
+        trace = _two_phase_trace(2000)
+        matrix, _ = basic_block_vectors(trace, interval=1000)
+        assert np.linalg.norm(matrix[0] - matrix[-1]) > 0.5
+        assert np.linalg.norm(matrix[0] - matrix[1]) < 1e-9
+
+    def test_partial_tail_interval_handling(self):
+        trace = _two_phase_trace(1000)  # 2000 records
+        matrix, _ = basic_block_vectors(trace, interval=1500)
+        assert matrix.shape[0] == 1  # 500-record tail dropped (< half)
+        matrix, _ = basic_block_vectors(trace, interval=1200)
+        assert matrix.shape[0] == 2  # 800-record tail kept
+
+    def test_rejects_bad_interval(self):
+        with pytest.raises(ValueError):
+            basic_block_vectors([], interval=0)
+
+
+class TestSimPoint:
+    def test_picks_the_dominant_phase(self):
+        # 75% phase B: the representative interval must be a B interval.
+        trace = _two_phase_trace(2000)[:2000] + _two_phase_trace(6000)[6000:]
+        result = pick_simpoint(trace, interval=1000)
+        start = result.start_instruction
+        from repro.isa.instr import PC
+        pcs = {r[PC] >> 12 for r in trace[start:start + 1000]}
+        assert 9 in pcs  # the 0x9000 region
+
+    def test_cluster_bookkeeping(self):
+        trace = _two_phase_trace(3000)
+        result = pick_simpoint(trace, interval=1000)
+        assert sum(result.cluster_sizes) == len(result.labels) == 6
+        assert result.k == len(result.cluster_sizes)
+        assert max(result.labels) == result.k - 1
+
+    def test_deterministic(self):
+        trace = _two_phase_trace(3000)
+        a = pick_simpoint(trace, interval=1000)
+        b = pick_simpoint(trace, interval=1000)
+        assert a.chosen_interval == b.chosen_interval
+
+    def test_simpoint_trace_length_and_containment(self):
+        trace = _two_phase_trace(3000)
+        selected = simpoint_trace(trace, length=1500, interval=1000)
+        assert len(selected) == 1500
+        joined = {id(r) for r in trace}
+        assert all(id(r) in joined for r in selected)
+
+    def test_too_short_trace_raises(self):
+        with pytest.raises(ValueError):
+            pick_simpoint([], interval=100)
+
+    def test_works_on_real_workloads(self):
+        trace, _ = build("gcc", 6000)
+        result = pick_simpoint(trace, interval=1000)
+        assert 0 <= result.start_instruction < 6000
+
+
+class TestWindow:
+    def test_basic_slice(self):
+        trace = list(range(100))
+        assert window(trace, 10, 5) == [10, 11, 12, 13, 14]
+
+    def test_overrun_shifts_back(self):
+        trace = list(range(100))
+        assert window(trace, 98, 10) == list(range(90, 100))
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            window(list(range(10)), -1, 5)
+        with pytest.raises(ValueError):
+            window(list(range(10)), 0, 0)
+        with pytest.raises(ValueError):
+            window(list(range(10)), 0, 11)

@@ -1,0 +1,146 @@
+"""Tests for the execute-driven value checker (the OoOSysC idea)."""
+
+import random
+
+import pytest
+
+from repro.isa.instr import make_load, make_store
+from repro.validation import (
+    FaultInjector,
+    FunctionalHierarchy,
+    run_value_check,
+)
+from repro.workloads.image import MemoryImage
+from repro.workloads.registry import build
+
+L1_SPAN = 32 << 10
+
+
+def _image_with(values):
+    image = MemoryImage()
+    for addr, value in values.items():
+        image.write(addr, value)
+    return image
+
+
+class TestFunctionalHierarchy:
+    def test_load_returns_initial_image_value(self):
+        image = _image_with({0x1000: 42})
+        h = FunctionalHierarchy(image)
+        assert h.load(0x1000) == 42
+
+    def test_store_then_load(self):
+        h = FunctionalHierarchy(MemoryImage())
+        h.store(0x2000, 7)
+        assert h.load(0x2000) == 7
+
+    def test_backing_memory_only_updated_by_writeback(self):
+        image = _image_with({0x1000: 1})
+        h = FunctionalHierarchy(image)
+        h.store(0x1000, 99)
+        assert h.backing_value(0x1000) == 1   # still in cache, dirty
+        h.flush()
+        assert h.backing_value(0x1000) == 99
+
+    def test_conflict_eviction_preserves_dirty_data(self):
+        h = FunctionalHierarchy(MemoryImage())
+        h.store(0x100000, 5)
+        # Thrash the direct-mapped L1 set so the dirty line round-trips.
+        for i in range(1, 6):
+            h.load(0x100000 + i * L1_SPAN)
+        assert h.load(0x100000) == 5
+
+    def test_uninitialised_words_match_image_garbage(self):
+        image = MemoryImage()
+        h = FunctionalHierarchy(image)
+        assert h.load(0x5008) == image._uninitialised(0x5008)
+
+
+class TestValueCheck:
+    def test_clean_protocol_has_no_mismatches(self):
+        rng = random.Random(11)
+        trace = []
+        for i in range(3000):
+            addr = 0x100000 + rng.randrange(4096) * 8
+            if rng.random() < 0.4:
+                trace.append(make_store(0x400, addr, rng.randrange(1 << 30)))
+            else:
+                trace.append(make_load(0x400, addr))
+        assert run_value_check(trace, MemoryImage()) == []
+
+    def test_clean_on_real_workloads(self):
+        for benchmark in ("gzip", "mcf", "swim"):
+            trace, image = build(benchmark, 4000)
+            assert run_value_check(trace, image) == [], benchmark
+
+    def test_conflict_heavy_trace_is_clean(self):
+        trace = []
+        for i in range(2000):
+            addr = 0x100000 + (i % 6) * L1_SPAN
+            if i % 3 == 0:
+                trace.append(make_store(0x400, addr, i))
+            else:
+                trace.append(make_load(0x400, addr))
+        assert run_value_check(trace, MemoryImage()) == []
+
+
+class TestFaultInjection:
+    """The paper's debugging story: seeded protocol bugs must be caught."""
+
+    def _thrash_trace(self, n=4000):
+        rng = random.Random(3)
+        trace = []
+        for i in range(n):
+            addr = 0x100000 + (i % 8) * L1_SPAN + rng.randrange(4) * 8
+            if rng.random() < 0.5:
+                trace.append(make_store(0x400, addr, rng.randrange(1 << 30)))
+            else:
+                trace.append(make_load(0x400, addr))
+        return trace
+
+    def test_dropped_dirty_bit_is_caught(self):
+        """The exact bug the paper describes: 'we forgot to properly set
+        the dirty bit in some cases; the line was not systematically
+        written back, and at the next request the values differed'."""
+        mismatches = run_value_check(
+            self._thrash_trace(), MemoryImage(),
+            fault=FaultInjector(drop_dirty_on_store=1),
+        )
+        assert mismatches
+        assert mismatches[0].expected != mismatches[0].actual
+
+    def test_skipped_writeback_is_caught(self):
+        mismatches = run_value_check(
+            self._thrash_trace(), MemoryImage(),
+            fault=FaultInjector(skip_writeback=1),
+        )
+        assert mismatches
+
+    def test_corrupted_fill_is_caught(self):
+        mismatches = run_value_check(
+            self._thrash_trace(), MemoryImage(),
+            fault=FaultInjector(corrupt_fill=3),
+        )
+        assert mismatches
+
+    def test_l2_faults_also_caught(self):
+        mismatches = run_value_check(
+            self._thrash_trace(8000), MemoryImage(),
+            fault=FaultInjector(skip_writeback=1), fault_level="l2",
+        )
+        # An L2 writeback skip may only surface at final reconciliation.
+        assert mismatches
+
+    def test_mismatch_report_is_bounded(self):
+        mismatches = run_value_check(
+            self._thrash_trace(), MemoryImage(),
+            fault=FaultInjector(corrupt_fill=1),
+            max_mismatches=4,
+        )
+        assert len(mismatches) <= 4
+
+    def test_fault_fires_once_then_disarms(self):
+        fault = FaultInjector(drop_dirty_on_store=2)
+        assert not fault.should_drop_dirty()  # countdown 2 -> 1
+        assert fault.should_drop_dirty()      # fires at 1
+        assert not fault.should_drop_dirty()  # disarmed

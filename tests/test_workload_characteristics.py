@@ -1,0 +1,62 @@
+"""Measured workload characteristics: do the 26 stand-ins behave in class?
+
+These run the *baseline* machine only (no mechanisms) and check that each
+benchmark's measured memory behaviour matches the class its spec claims —
+the calibration contract between `repro.workloads.spec2000` and DESIGN.md.
+"""
+
+import pytest
+
+from repro.core.simulation import run_benchmark
+from repro.workloads.registry import HIGH_SENSITIVITY, LOW_SENSITIVITY
+
+N = 10_000
+
+
+@pytest.fixture(scope="module")
+def baselines():
+    wanted = set(LOW_SENSITIVITY) | set(HIGH_SENSITIVITY) | {
+        "mcf", "lucas", "gzip", "art", "mesa", "sixtrack",
+    }
+    return {name: run_benchmark(name, "Base", n_instructions=N)
+            for name in wanted}
+
+
+def test_low_sensitivity_benchmarks_miss_less_than_memory_bound(baselines):
+    # At 10^4-instruction traces cold misses dominate every miss rate, so
+    # the classes are checked relative to each other, not absolutely.
+    worst_low = max(baselines[n].l1_miss_rate for n in LOW_SENSITIVITY)
+    assert worst_low < baselines["mcf"].l1_miss_rate / 2
+    assert worst_low < baselines["lucas"].l1_miss_rate / 2
+
+
+def test_high_sensitivity_benchmarks_miss_substantially(baselines):
+    for name in HIGH_SENSITIVITY:
+        assert baselines[name].l1_miss_rate > 0.05, name
+
+
+def test_memory_bound_benchmarks_have_low_ipc(baselines):
+    cache_friendly_ipc = max(
+        baselines[name].ipc for name in ("crafty", "perlbmk", "mesa")
+    )
+    for name in ("mcf", "lucas"):
+        assert baselines[name].ipc < cache_friendly_ipc / 2, name
+
+
+def test_mcf_loads_are_latency_bound(baselines):
+    """Dependence-serialised pointer chasing shows up as load latency."""
+    assert baselines["mcf"].avg_load_latency > (
+        baselines["crafty"].avg_load_latency * 2
+    )
+
+
+def test_row_hostile_benchmarks_see_higher_dram_latency(baselines):
+    """lucas' long strides open a new row nearly every access."""
+    assert baselines["lucas"].avg_memory_latency > (
+        baselines["sixtrack"].avg_memory_latency
+    )
+
+
+def test_every_baseline_is_deterministic(baselines):
+    again = run_benchmark("mcf", "Base", n_instructions=N)
+    assert again.ipc == baselines["mcf"].ipc

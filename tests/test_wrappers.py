@@ -1,0 +1,99 @@
+"""Tests for the interoperability wrappers (Section 4's federation goal)."""
+
+import pytest
+
+from repro.core.config import baseline_config
+from repro.core.simulation import run_trace
+from repro.isa.instr import make_load
+from repro.mechanisms.registry import create
+from repro.wrappers import (
+    CACHE_READ,
+    CACHE_WRITE,
+    ForeignPrefetcherAdapter,
+    SimpleScalarCacheShim,
+)
+from repro.workloads.image import MemoryImage
+
+
+class TestSimpleScalarShim:
+    def test_read_miss_then_hit_latencies(self):
+        shim = SimpleScalarCacheShim()
+        miss_lat = shim.cache_access(CACHE_READ, 0x4000, 32, now=0)
+        hit_lat = shim.cache_access(CACHE_READ, 0x4000, 32, now=miss_lat + 10)
+        assert miss_lat > 50      # DRAM round trip
+        assert hit_lat <= 4       # L1 hit
+        assert shim.hits == 1 and shim.misses == 1
+
+    def test_write_path_and_stats(self):
+        image = MemoryImage()
+        shim = SimpleScalarCacheShim(image=image)
+        shim.cache_access(CACHE_WRITE, 0x8000, 32, now=0, value=5)
+        assert image.read(0x8000) == 5
+        # Thrash the set to force the dirty writeback.
+        t = 1000
+        for i in range(1, 4):
+            shim.cache_access(CACHE_READ, 0x8000 + i * (32 << 10), 32, now=t)
+            t += 500
+        assert shim.writebacks >= 1
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(ValueError):
+            SimpleScalarCacheShim().cache_access("Flush", 0, 32, now=0)
+
+    def test_hosts_a_library_mechanism(self):
+        """The original direction: MicroLib model behind the classic API."""
+        shim = SimpleScalarCacheShim(mechanism=create("TP"))
+        t = 0
+        for i in range(200):
+            latency = shim.cache_access(CACHE_READ, 0x100000 + i * 64, 32,
+                                        now=t)
+            t += latency + 20
+        assert shim.hierarchy.st_prefetches_issued.value > 20
+
+
+class _ToyNextLine:
+    """A 'foreign' prefetcher in the common standalone shape."""
+
+    name = "ToyNL"
+    table_bytes = 64
+
+    def __init__(self):
+        self.trained = 0
+
+    def train(self, pc, addr, hit):
+        self.trained += 1
+        if not hit:
+            return [addr + 64]
+        return []
+
+
+class TestForeignAdapter:
+    def test_rejects_models_without_train(self):
+        with pytest.raises(TypeError):
+            ForeignPrefetcherAdapter(object())
+
+    def test_rejects_bad_level(self):
+        with pytest.raises(ValueError):
+            ForeignPrefetcherAdapter(_ToyNextLine(), level="l3")
+
+    def test_adapted_model_prefetches_through_the_harness(self):
+        model = _ToyNextLine()
+        adapter = ForeignPrefetcherAdapter(model, level="l2")
+        trace = []
+        from repro.isa.instr import Op, make_op
+        for i in range(300):
+            trace.append(make_load(0x400, 0x100000 + i * 64))
+            for k in range(19):  # sparse misses: the bus has idle headroom
+                trace.append(make_op(Op.INT_ALU, 0x410 + 4 * k))
+        base = run_trace(trace)
+        result = run_trace(trace, adapter)
+        assert model.trained > 0
+        assert result.useful_prefetches > 50
+        assert result.ipc > base.ipc
+
+    def test_cost_model_prices_the_foreign_table(self):
+        from repro.core.simulation import build_machine
+        from repro.costmodel.cacti import CactiModel
+        adapter = ForeignPrefetcherAdapter(_ToyNextLine())
+        build_machine(mechanism=adapter)
+        assert CactiModel().cost_ratio(adapter) > 1.0
