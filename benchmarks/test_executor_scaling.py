@@ -1,0 +1,74 @@
+"""Executor scaling check: serial vs parallel wall time for one grid.
+
+Records the timings to ``benchmarks/out/executor_scaling.txt`` so later
+performance PRs (sharding, remote workers, larger traces) have a
+trajectory to compare against.  No speed assertion is made — CI boxes
+can be single-core, where the pool only adds overhead — but serial and
+parallel results must match exactly.
+"""
+
+import dataclasses
+import os
+import time
+
+from conftest import OUT_DIR
+
+from repro.exec import Executor
+from repro.workloads.registry import build as build_workload
+
+GRID_BENCHMARKS = ("swim", "gzip", "art", "mcf", "equake", "crafty")
+GRID_MECHANISMS = ("Base", "TP", "SP", "GHB")
+PARALLEL_JOBS = 2
+
+
+def _timed_sweep(jobs: int, n: int):
+    executor = Executor(jobs=jobs)
+    start = time.perf_counter()
+    grid = executor.run_sweep(
+        benchmarks=GRID_BENCHMARKS,
+        mechanisms=GRID_MECHANISMS,
+        n_instructions=n,
+    )
+    return time.perf_counter() - start, grid
+
+
+def test_executor_scaling(benchmark, bench_n):
+    n = min(bench_n, 8000)
+    # Pre-build every trace so both timings measure simulation, not trace
+    # generation (forked workers inherit the parent's warm trace cache).
+    for benchmark_name in GRID_BENCHMARKS:
+        build_workload(benchmark_name, n)
+    serial_seconds, serial_grid = _timed_sweep(1, n)
+    parallel_seconds, parallel_grid = benchmark.pedantic(
+        lambda: _timed_sweep(PARALLEL_JOBS, n),
+        rounds=1, iterations=1,
+    )
+
+    # Parallel execution must be a pure throughput change: every cell of
+    # the grid identical to the serial run.
+    for mechanism in GRID_MECHANISMS:
+        for benchmark_name in GRID_BENCHMARKS:
+            s = serial_grid.get(mechanism, benchmark_name)
+            p = parallel_grid.get(mechanism, benchmark_name)
+            assert dataclasses.asdict(s) == dataclasses.asdict(p)
+
+    runs = len(GRID_BENCHMARKS) * len(GRID_MECHANISMS)
+    speedup = serial_seconds / parallel_seconds if parallel_seconds else 0.0
+    OUT_DIR.mkdir(exist_ok=True)
+    lines = [
+        f"grid: {len(GRID_MECHANISMS)} mechanisms x "
+        f"{len(GRID_BENCHMARKS)} benchmarks = {runs} runs, "
+        f"n_instructions={n}",
+        f"host cpus: {os.cpu_count()}",
+        f"serial (jobs=1):   {serial_seconds:.3f}s "
+        f"({serial_seconds / runs:.3f}s/run)",
+        f"parallel (jobs={PARALLEL_JOBS}): {parallel_seconds:.3f}s "
+        f"({parallel_seconds / runs:.3f}s/run)",
+        f"parallel speedup:  {speedup:.2f}x",
+    ]
+    text = "\n".join(lines)
+    (OUT_DIR / "executor_scaling.txt").write_text(text + "\n")
+    print()
+    print(text)
+
+    assert serial_seconds > 0 and parallel_seconds > 0

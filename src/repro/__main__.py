@@ -4,9 +4,18 @@ Examples::
 
     python -m repro list
     python -m repro run swim GHB --n 20000
-    python -m repro fig4 --n 20000
+    python -m repro fig4 --n 20000 --jobs 4
     python -m repro table6 --benchmarks swim,gzip,art,mcf
-    python -m repro all --n 8000          # every exhibit, quick scale
+    python -m repro all --n 8000 --jobs 4  # every exhibit, quick scale
+
+Every simulation goes through one shared :class:`repro.exec.Executor`:
+``--jobs N`` fans runs out over N worker processes (default: the CPU
+count; ``--jobs 1`` stays in-process for determinism debugging), and
+results are content-addressed in an on-disk store (``--cache-dir``,
+default ``~/.cache/repro`` or ``$REPRO_CACHE_DIR``; ``--no-cache``
+disables it) so repeated and overlapping exhibits never re-simulate.
+Exhibit tables go to stdout; the telemetry summary goes to stderr, so
+piped output is identical whatever the job count.
 """
 
 from __future__ import annotations
@@ -16,6 +25,7 @@ import sys
 from typing import Callable, Dict
 
 from repro import harness
+from repro.exec import Executor, ResultStore, RunSpec, set_default_executor
 from repro.harness.matrix import speedup_matrix
 from repro.harness.tables import (
     table1_configuration,
@@ -23,7 +33,7 @@ from repro.harness.tables import (
     table3_parameters,
     table4_benchmarks,
 )
-from repro.core.simulation import DEFAULT_INSTRUCTIONS, run_benchmark
+from repro.core.simulation import DEFAULT_INSTRUCTIONS
 from repro.mechanisms.registry import ALL_MECHANISMS, EXTENSIONS, mechanism_info
 from repro.workloads.registry import ALL_BENCHMARKS
 
@@ -49,6 +59,9 @@ EXHIBITS: Dict[str, Callable] = {
     "table7": harness.table7_selection_ranking,
 }
 
+#: Exhibits that run no simulations (static tables).
+STATIC = {"table1", "table2", "table3", "table4", "table5"}
+
 
 def _cmd_list() -> int:
     print("Benchmarks (26):")
@@ -66,10 +79,10 @@ def _cmd_list() -> int:
     return 0
 
 
-def _cmd_run(args) -> int:
-    base = run_benchmark(args.benchmark, "Base", n_instructions=args.n)
-    result = run_benchmark(args.benchmark, args.mechanism,
-                           n_instructions=args.n)
+def _cmd_run(args, executor: Executor) -> int:
+    base_spec = RunSpec(args.benchmark, n_instructions=args.n)
+    mech_spec = RunSpec(args.benchmark, args.mechanism, n_instructions=args.n)
+    base, result = executor.run([base_spec, mech_spec])
     print(f"{args.benchmark} / {args.mechanism}: "
           f"ipc={result.ipc:.4f} speedup={result.speedup_over(base):.3f} "
           f"l1_miss={result.l1_miss_rate:.1%} "
@@ -80,16 +93,23 @@ def _cmd_run(args) -> int:
     return 0
 
 
-def _run_exhibit(name: str, args) -> int:
+def _run_exhibit(name: str, args, executor: Executor) -> int:
     driver = EXHIBITS[name]
     kwargs = {}
-    static = {"table1", "table2", "table3", "table4", "table5"}
-    if name not in static:
+    if name not in STATIC:
         kwargs["n_instructions"] = args.n
+        kwargs["executor"] = executor
         if args.benchmarks:
             kwargs["benchmarks"] = tuple(args.benchmarks.split(","))
     print(driver(**kwargs).render())
     return 0
+
+
+def _build_executor(args) -> Executor:
+    store = None
+    if not args.no_cache:
+        store = ResultStore(args.cache_dir)  # None -> default cache dir
+    return Executor(jobs=args.jobs, store=store)
 
 
 def main(argv=None) -> int:
@@ -109,21 +129,35 @@ def main(argv=None) -> int:
                              f"(default {DEFAULT_INSTRUCTIONS})")
     parser.add_argument("--benchmarks",
                         help="comma-separated benchmark subset for exhibits")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes for simulations "
+                             "(default: CPU count; 1 = in-process)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="result-store directory (default ~/.cache/repro "
+                             "or $REPRO_CACHE_DIR)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the on-disk result store")
     args = parser.parse_args(argv)
 
     if args.command == "list":
         return _cmd_list()
+
+    executor = set_default_executor(_build_executor(args))
     if args.command == "run":
         if not args.benchmark:
             parser.error("'run' needs a benchmark (and optional mechanism)")
-        return _cmd_run(args)
+        return _cmd_run(args, executor)
     if args.command == "all":
         for name in EXHIBITS:
-            _run_exhibit(name, args)
+            _run_exhibit(name, args, executor)
             print()
+        print(executor.telemetry.summary_line(), file=sys.stderr)
         return 0
     if args.command in EXHIBITS:
-        return _run_exhibit(args.command, args)
+        status = _run_exhibit(args.command, args, executor)
+        if args.command not in STATIC:
+            print(executor.telemetry.summary_line(), file=sys.stderr)
+        return status
     parser.error(f"unknown command {args.command!r}")
     return 2
 

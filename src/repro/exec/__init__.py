@@ -1,0 +1,58 @@
+"""Declarative execution layer: RunSpec -> Executor -> RunResult.
+
+Run identity is the content of a :class:`~repro.exec.runspec.RunSpec`
+(never a caller-chosen label); execution, deduplication, parallel
+fan-out, persistent caching and instrumentation live in
+:class:`~repro.exec.executor.Executor`.  The harness drivers and the CLI
+all submit their runs through one shared executor, obtained from
+:func:`get_default_executor` unless a caller passes its own.
+
+The module-level default starts life serial (``jobs=1``) and memory-only
+— importing the library never spawns processes or writes to disk.  The
+CLI upgrades it (``--jobs``, ``--cache-dir``) via
+:func:`set_default_executor`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.exec.executor import Executor
+from repro.exec.runspec import RunSpec
+from repro.exec.store import ResultStore, default_cache_dir
+from repro.exec.telemetry import RunRecord, Telemetry
+
+__all__ = [
+    "Executor",
+    "ResultStore",
+    "RunRecord",
+    "RunSpec",
+    "Telemetry",
+    "default_cache_dir",
+    "get_default_executor",
+    "reset_default_executor",
+    "set_default_executor",
+]
+
+_default_executor: Optional[Executor] = None
+
+
+def get_default_executor() -> Executor:
+    """The process-wide shared executor (created on first use)."""
+    global _default_executor
+    if _default_executor is None:
+        _default_executor = Executor(jobs=1)
+    return _default_executor
+
+
+def set_default_executor(executor: Executor) -> Executor:
+    """Install ``executor`` as the process-wide default; returns it."""
+    global _default_executor
+    _default_executor = executor
+    return executor
+
+
+def reset_default_executor() -> None:
+    """Drop the default executor (and its memo); tests use this."""
+    global _default_executor
+    _default_executor = None

@@ -1,0 +1,192 @@
+"""The Executor: batches of RunSpecs in, RunResults out, in order.
+
+Resolution order per unique spec hash:
+
+1. **memo** — results already resolved by this executor (process memory);
+2. **store** — the on-disk content-addressed store, when configured;
+3. **simulate** — in-process when ``jobs == 1`` (deterministic
+   single-process debugging), else fanned out over a
+   :class:`concurrent.futures.ProcessPoolExecutor`.
+
+Duplicate specs within a batch are simulated once and every caller
+position gets the same result object.  Freshly simulated results are
+written back to the store, so the next process — or the next exhibit in
+the same ``python -m repro all`` — never pays for the same cell twice.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import MachineConfig, baseline_config
+from repro.core.results import ResultSet
+from repro.core.simulation import DEFAULT_INSTRUCTIONS, RunResult
+from repro.exec.runspec import RunSpec
+from repro.exec.store import ResultStore
+from repro.exec.telemetry import (
+    SOURCE_MEMO,
+    SOURCE_SIMULATED,
+    SOURCE_STORE,
+    RunRecord,
+    Telemetry,
+)
+from repro.mechanisms.registry import ALL_MECHANISMS, BASELINE
+from repro.workloads.registry import ALL_BENCHMARKS
+
+#: progress(completed_simulations, total_simulations, spec_just_finished)
+ProgressFn = Callable[[int, int, RunSpec], None]
+
+
+def _execute_timed(spec: RunSpec) -> Tuple[str, RunResult, float]:
+    """Worker entry point: run one spec, report its wall time."""
+    start = time.perf_counter()
+    result = spec.execute()
+    return spec.content_hash, result, time.perf_counter() - start
+
+
+class Executor:
+    """Run batches of :class:`RunSpec`, deduplicated and cached.
+
+    ``jobs=1`` executes in-process (no pool, bit-for-bit reproducible
+    stepping under a debugger); ``jobs>1`` uses a process pool of that
+    many workers.  ``jobs=None`` defaults to ``os.cpu_count()``.
+    """
+
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        store: Optional[ResultStore] = None,
+        telemetry: Optional[Telemetry] = None,
+        progress: Optional[ProgressFn] = None,
+    ):
+        self.jobs = max(1, jobs if jobs is not None else (os.cpu_count() or 1))
+        self.store = store
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self.progress = progress
+        self._memo: Dict[str, RunResult] = {}
+        self._sweep_memo: Dict[Tuple[str, ...], ResultSet] = {}
+
+    # -- batch execution ------------------------------------------------------
+
+    def run(self, specs: Sequence[RunSpec]) -> List[RunResult]:
+        """Resolve every spec; results align with ``specs`` by position."""
+        start = time.perf_counter()
+        order: List[str] = []
+        unique: Dict[str, RunSpec] = {}
+        for spec in specs:
+            key = spec.content_hash
+            order.append(key)
+            if key not in unique:
+                unique[key] = spec
+
+        to_simulate: List[RunSpec] = []
+        for key, spec in unique.items():
+            if key in self._memo:
+                self._record(spec, SOURCE_MEMO)
+                continue
+            stored = self.store.get(spec) if self.store is not None else None
+            if stored is not None:
+                self._memo[key] = stored
+                self._record(spec, SOURCE_STORE)
+                continue
+            to_simulate.append(spec)
+
+        if to_simulate:
+            self._simulate(to_simulate)
+
+        self.telemetry.record_batch(
+            len(specs), len(unique), time.perf_counter() - start
+        )
+        return [self._memo[key] for key in order]
+
+    def _simulate(self, specs: List[RunSpec]) -> None:
+        total = len(specs)
+        if self.jobs == 1 or total == 1:
+            for done, spec in enumerate(specs, 1):
+                key, result, seconds = _execute_timed(spec)
+                self._absorb(spec, key, result, seconds, done, total)
+            return
+        workers = min(self.jobs, total)
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            pending = {pool.submit(_execute_timed, spec): spec for spec in specs}
+            done = 0
+            while pending:
+                finished, _ = wait(pending, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    spec = pending.pop(future)
+                    key, result, seconds = future.result()
+                    done += 1
+                    self._absorb(spec, key, result, seconds, done, total)
+
+    def _absorb(
+        self,
+        spec: RunSpec,
+        key: str,
+        result: RunResult,
+        seconds: float,
+        done: int,
+        total: int,
+    ) -> None:
+        self._memo[key] = result
+        if self.store is not None:
+            self.store.put(spec, result)
+        self._record(spec, SOURCE_SIMULATED, seconds)
+        if self.progress is not None:
+            self.progress(done, total, spec)
+
+    def _record(self, spec: RunSpec, source: str, seconds: float = 0.0) -> None:
+        self.telemetry.record(RunRecord(
+            spec_hash=spec.content_hash,
+            benchmark=spec.benchmark,
+            mechanism=spec.mechanism,
+            source=source,
+            seconds=seconds,
+        ))
+
+    # -- grids ----------------------------------------------------------------
+
+    def run_sweep(
+        self,
+        config: Optional[MachineConfig] = None,
+        benchmarks: Sequence[str] = ALL_BENCHMARKS,
+        mechanisms: Sequence[str] = ALL_MECHANISMS,
+        n_instructions: int = DEFAULT_INSTRUCTIONS,
+        mechanism_kwargs: Optional[Dict[str, Dict]] = None,
+    ) -> ResultSet:
+        """The mechanism x benchmark grid as a :class:`ResultSet`.
+
+        The baseline is always included (speedup queries need it).  The
+        assembled ResultSet is memoised by the tuple of spec hashes, so
+        exhibits sharing a grid share the object too.
+        """
+        mechanisms = list(mechanisms)
+        if BASELINE not in mechanisms:
+            mechanisms.insert(0, BASELINE)
+        config = config or baseline_config()
+        variants = mechanism_kwargs or {}
+        specs = [
+            RunSpec(
+                benchmark=benchmark,
+                mechanism=mechanism,
+                config=config,
+                n_instructions=n_instructions,
+                mechanism_kwargs=variants.get(mechanism) or (),
+            )
+            for mechanism in mechanisms
+            for benchmark in benchmarks
+        ]
+        key = tuple(spec.content_hash for spec in specs)
+        if key in self._sweep_memo:
+            for spec in specs:
+                self._record(spec, SOURCE_MEMO)
+            self.telemetry.record_batch(len(specs), len(specs), 0.0)
+            return self._sweep_memo[key]
+        results = self.run(specs)
+        grid = ResultSet()
+        for result in results:
+            grid.add(result)
+        self._sweep_memo[key] = grid
+        return grid

@@ -1,0 +1,141 @@
+"""Declarative run identity: everything one simulation needs, hashed.
+
+A :class:`RunSpec` is the *complete* description of one simulation —
+benchmark, mechanism (with variant keyword arguments), full
+:class:`~repro.core.config.MachineConfig`, trace length, trace selection
+and warm-up fraction.  Two specs are the same run if and only if their
+``content_hash`` matches, and the hash is derived from the actual field
+values (the config is serialised field by field), never from a label a
+caller made up.  That property is what makes result caching across
+exhibits — and across processes, via :mod:`repro.exec.store` — sound.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass, field
+from functools import cached_property
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.core.config import MachineConfig, baseline_config
+from repro.core.simulation import (
+    DEFAULT_INSTRUCTIONS,
+    WARMUP_FRACTION,
+    RunResult,
+    run_trace,
+)
+from repro.mechanisms.registry import BASELINE, create
+from repro.trace.sampling import window
+from repro.trace.simpoint import simpoint_trace
+from repro.workloads.registry import build as build_workload
+
+#: Trace-selection kinds understood by :meth:`RunSpec.execute`.
+SELECT_WINDOW = "window"
+SELECT_SIMPOINT = "simpoint"
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One simulation, fully specified and content-addressable.
+
+    ``mechanism_kwargs`` is stored as a sorted tuple of ``(name, value)``
+    pairs so that specs are hashable, picklable and order-insensitive; a
+    plain dict is accepted and canonicalised.
+
+    ``selection`` describes how the simulated slice is taken from a
+    generated trace of ``trace_length`` (default: ``n_instructions``)
+    instructions:
+
+    * ``None`` — simulate the first ``n_instructions`` of the trace;
+    * ``("window", skip)`` — the paper's "skip some, simulate a lot"
+      habit: ``n_instructions`` starting at ``skip`` (shifted back when
+      the trace is too short, as :func:`repro.trace.sampling.window`);
+    * ``("simpoint", interval)`` — SimPoint selection of the
+      representative ``n_instructions`` slice using ``interval``-sized
+      basic-block vectors.
+    """
+
+    benchmark: str
+    mechanism: str = BASELINE
+    config: MachineConfig = field(default_factory=baseline_config)
+    n_instructions: int = DEFAULT_INSTRUCTIONS
+    mechanism_kwargs: Tuple[Tuple[str, object], ...] = ()
+    trace_length: Optional[int] = None
+    selection: Optional[Tuple] = None
+    warmup_fraction: float = WARMUP_FRACTION
+
+    def __post_init__(self) -> None:
+        kwargs = self.mechanism_kwargs
+        if kwargs is None:
+            kwargs = ()
+        if isinstance(kwargs, Mapping):
+            kwargs = kwargs.items()
+        canonical = tuple(sorted((str(k), v) for k, v in kwargs))
+        object.__setattr__(self, "mechanism_kwargs", canonical)
+        if self.selection is not None:
+            selection = tuple(self.selection)
+            if len(selection) != 2 or selection[0] not in (
+                SELECT_WINDOW, SELECT_SIMPOINT
+            ):
+                raise ValueError(f"bad trace selection {self.selection!r}")
+            object.__setattr__(self, "selection", selection)
+        if self.n_instructions <= 0:
+            raise ValueError(f"n_instructions must be > 0, got {self.n_instructions}")
+        total = self.trace_length
+        if total is not None and total < self.n_instructions:
+            raise ValueError(
+                f"trace_length {total} shorter than n_instructions "
+                f"{self.n_instructions}"
+            )
+
+    # -- identity -------------------------------------------------------------
+
+    def describe(self) -> Dict:
+        """A JSON-ready dict of every field that defines run identity."""
+        return {
+            "benchmark": self.benchmark,
+            "mechanism": self.mechanism,
+            "mechanism_kwargs": [[k, v] for k, v in self.mechanism_kwargs],
+            "config": dataclasses.asdict(self.config),
+            "n_instructions": self.n_instructions,
+            "trace_length": self.trace_length,
+            "selection": list(self.selection) if self.selection else None,
+            "warmup_fraction": self.warmup_fraction,
+        }
+
+    @cached_property
+    def content_hash(self) -> str:
+        """SHA-256 over the canonical serialisation of :meth:`describe`."""
+        payload = json.dumps(
+            self.describe(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    # -- execution ------------------------------------------------------------
+
+    def execute(self) -> RunResult:
+        """Run the simulation this spec describes on a fresh machine."""
+        total = self.trace_length or self.n_instructions
+        trace, image = build_workload(self.benchmark, total)
+        if self.selection is None:
+            selected = trace if total == self.n_instructions else list(
+                trace[:self.n_instructions]
+            )
+        elif self.selection[0] == SELECT_WINDOW:
+            selected = window(trace, self.selection[1], self.n_instructions)
+        else:  # SELECT_SIMPOINT, validated in __post_init__
+            selected = simpoint_trace(
+                trace, self.n_instructions, interval=self.selection[1]
+            )
+        mechanism = create(self.mechanism, **dict(self.mechanism_kwargs))
+        return run_trace(
+            selected,
+            mechanism,
+            self.config,
+            image,
+            benchmark=self.benchmark,
+            mechanism_name=self.mechanism,
+            warmup_fraction=self.warmup_fraction,
+        )

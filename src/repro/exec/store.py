@@ -1,0 +1,81 @@
+"""Persistent, content-addressed result store.
+
+One JSON file per :class:`~repro.exec.runspec.RunSpec` content hash under
+a cache directory (default ``~/.cache/repro``, overridable with the
+``REPRO_CACHE_DIR`` environment variable or the CLI's ``--cache-dir``).
+Each file carries a format version, the full spec description (so a human
+can audit what a hash means) and the complete
+:class:`~repro.core.simulation.RunResult`.
+
+Reads are forgiving: a missing, truncated, corrupted or
+version-mismatched file is a cache miss, never an error — the executor
+simply re-simulates and rewrites it.  Writes are atomic
+(temp file + ``os.replace``) so a killed run cannot leave a partial file
+that poisons later sweeps.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.core.simulation import RunResult
+from repro.exec.runspec import RunSpec
+
+#: Bump when the stored payload layout (or RunResult schema) changes;
+#: older entries then read as misses instead of crashing deserialisation.
+STORE_VERSION = 1
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` when set, else ``~/.cache/repro``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env).expanduser()
+    return Path.home() / ".cache" / "repro"
+
+
+class ResultStore:
+    """Directory of ``<content-hash>.json`` result files."""
+
+    def __init__(self, root: Optional[Union[str, Path]] = None):
+        self.root = Path(root).expanduser() if root else default_cache_dir()
+
+    def path_for(self, spec: RunSpec) -> Path:
+        return self.root / f"{spec.content_hash}.json"
+
+    def get(self, spec: RunSpec) -> Optional[RunResult]:
+        """The stored result for ``spec``, or None on any defect."""
+        try:
+            payload = json.loads(self.path_for(spec).read_text("utf-8"))
+        except (OSError, ValueError):
+            return None  # missing, unreadable, truncated or not JSON
+        if not isinstance(payload, dict) or payload.get("version") != STORE_VERSION:
+            return None
+        try:
+            return RunResult(**payload["result"])
+        except (KeyError, TypeError):
+            return None  # schema drift or hand-edited file
+
+    def put(self, spec: RunSpec, result: RunResult) -> Path:
+        """Atomically persist ``result`` under ``spec``'s hash."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(spec)
+        payload = {
+            "version": STORE_VERSION,
+            "spec": spec.describe(),
+            "result": dataclasses.asdict(result),
+        }
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        tmp.write_text(json.dumps(payload, sort_keys=True, indent=1), "utf-8")
+        os.replace(tmp, path)
+        return path
+
+    def __len__(self) -> int:
+        try:
+            return sum(1 for _ in self.root.glob("*.json"))
+        except OSError:
+            return 0

@@ -1,0 +1,89 @@
+"""Executor instrumentation: where every result came from, and how fast.
+
+The executor records one :class:`RunRecord` per *resolved* spec — whether
+it was simulated, answered from the in-process memo, or read from the
+on-disk store — plus batch wall-clock time.  ``summary_line()`` is the
+one-line accounting the CLI prints after ``python -m repro all``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+#: Result provenance values.
+SOURCE_SIMULATED = "simulated"
+SOURCE_MEMO = "memo"
+SOURCE_STORE = "store"
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """Provenance and cost of one resolved spec."""
+
+    spec_hash: str
+    benchmark: str
+    mechanism: str
+    source: str            # one of the SOURCE_* values
+    seconds: float = 0.0   # simulation wall time (0 for cache answers)
+
+
+@dataclass
+class Telemetry:
+    """Counters accumulated across an executor's lifetime."""
+
+    records: List[RunRecord] = field(default_factory=list)
+    results_returned: int = 0   # includes in-batch duplicates
+    deduped: int = 0            # duplicate specs folded within batches
+    batches: int = 0
+    wall_time: float = 0.0      # total batch wall-clock, seconds
+
+    # -- recording ------------------------------------------------------------
+
+    def record(self, record: RunRecord) -> None:
+        self.records.append(record)
+
+    def record_batch(self, n_specs: int, n_unique: int, seconds: float) -> None:
+        self.batches += 1
+        self.results_returned += n_specs
+        self.deduped += n_specs - n_unique
+        self.wall_time += seconds
+
+    # -- accounting -----------------------------------------------------------
+
+    def _count(self, source: str) -> int:
+        return sum(1 for r in self.records if r.source == source)
+
+    @property
+    def simulated(self) -> int:
+        return self._count(SOURCE_SIMULATED)
+
+    @property
+    def memo_hits(self) -> int:
+        return self._count(SOURCE_MEMO)
+
+    @property
+    def store_hits(self) -> int:
+        return self._count(SOURCE_STORE)
+
+    @property
+    def cache_hits(self) -> int:
+        """Everything answered without simulating (memo + store + dedupe)."""
+        return self.memo_hits + self.store_hits + self.deduped
+
+    @property
+    def sim_seconds(self) -> float:
+        return sum(r.seconds for r in self.records)
+
+    def summary_line(self) -> str:
+        parts = [
+            f"{self.results_returned} results",
+            f"{self.simulated} simulated",
+            f"{self.cache_hits} cache hits "
+            f"({self.memo_hits} memo, {self.store_hits} store, "
+            f"{self.deduped} deduped)",
+            f"wall {self.wall_time:.2f}s",
+        ]
+        if self.simulated:
+            parts.append(f"avg {self.sim_seconds / self.simulated:.3f}s/sim")
+        return "executor: " + ", ".join(parts)

@@ -2,9 +2,13 @@
 
 Each ``fig*``/``table*`` function reproduces one exhibit of the paper's
 evaluation (see DESIGN.md's experiment index) and returns a result object
-whose ``render()`` prints the same rows/series the paper reports.  Sweeps
-are cached per configuration within the process, so experiments that share
-the Figure 4 grid (Figures 5-7, Tables 6-7) pay for it once.
+whose ``render()`` prints the same rows/series the paper reports.  Every
+driver submits its runs as :class:`~repro.exec.runspec.RunSpec` batches
+through a shared :class:`~repro.exec.executor.Executor` (``executor=``
+parameter, default :func:`repro.exec.get_default_executor`), which
+deduplicates by run content hash — so exhibits sharing the Figure 4 grid
+(Figures 5-7, Tables 6-7) pay for each cell once, in this process or,
+with a result store configured, ever.
 """
 
 from repro.harness.experiments import (

@@ -4,8 +4,14 @@ Conventions
 -----------
 * Every driver takes ``n_instructions`` (trace length per run) and
   ``benchmarks`` so tests can run small and EXPERIMENTS.md can run large.
-* Drivers that share the main mechanism x benchmark grid call
-  :func:`main_sweep`, which memoises per (config-variant, benchmarks, n).
+* Drivers never call the simulator directly: they build declarative
+  :class:`~repro.exec.runspec.RunSpec` batches and submit them through a
+  shared :class:`~repro.exec.executor.Executor` (pass ``executor=`` or
+  rely on :func:`repro.exec.get_default_executor`).  Run identity is the
+  spec's content hash — benchmark, mechanism + kwargs, the full machine
+  config, trace selection — so distinct configurations can never collide
+  in the cache, and exhibits that share grid cells (the Figure 4 grid
+  feeds Figures 5-7 and Tables 6-7) pay for each cell once.
 * Results carry structured ``rows`` plus a ``render()`` producing the
   paper-style text table.
 """
@@ -15,10 +21,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.core.comparison import ComparisonSuite
 from repro.core.config import (
     MEMORY_CONSTANT,
-    MEMORY_SDRAM,
     MEMORY_SDRAM_FAST,
     MachineConfig,
     baseline_config,
@@ -35,21 +39,16 @@ from repro.core.sensitivity import (
     sensitivity_split,
     subset_speedups,
 )
-from repro.core.simulation import DEFAULT_INSTRUCTIONS, run_benchmark, run_trace
+from repro.core.simulation import DEFAULT_INSTRUCTIONS
 from repro.core.priorwork import comparison_pairs
 from repro.costmodel.cacti import CactiModel
 from repro.costmodel.power import PowerModel
+from repro.exec import Executor, RunSpec, get_default_executor
 from repro.mechanisms.registry import ALL_MECHANISMS, BASELINE, create
-from repro.trace.sampling import window
-from repro.trace.simpoint import simpoint_trace
 from repro.workloads.registry import (
     ALL_BENCHMARKS,
     ARTICLE_SELECTIONS,
-    build as build_workload,
 )
-
-#: Memoised sweeps: key -> ResultSet.
-_SWEEP_CACHE: Dict[Tuple, ResultSet] = {}
 
 
 @dataclass
@@ -83,39 +82,23 @@ class ExperimentResult:
         return "\n".join(lines)
 
 
-def clear_sweep_cache() -> None:
-    _SWEEP_CACHE.clear()
-
-
 def main_sweep(
     config: Optional[MachineConfig] = None,
     benchmarks: Sequence[str] = ALL_BENCHMARKS,
     mechanisms: Sequence[str] = ALL_MECHANISMS,
     n_instructions: int = DEFAULT_INSTRUCTIONS,
     mechanism_kwargs: Optional[Dict[str, Dict]] = None,
-    label: str = "baseline",
+    executor: Optional[Executor] = None,
 ) -> ResultSet:
-    """The mechanism x benchmark grid, memoised per configuration."""
-    key = (
-        label,
-        tuple(benchmarks),
-        tuple(mechanisms),
-        n_instructions,
-        tuple(sorted(
-            (name, tuple(sorted(kwargs.items())))
-            for name, kwargs in (mechanism_kwargs or {}).items()
-        )),
+    """The mechanism x benchmark grid, cached by run content (not label)."""
+    ex = executor or get_default_executor()
+    return ex.run_sweep(
+        config=config,
+        benchmarks=benchmarks,
+        mechanisms=mechanisms,
+        n_instructions=n_instructions,
+        mechanism_kwargs=mechanism_kwargs,
     )
-    if key not in _SWEEP_CACHE:
-        suite = ComparisonSuite(
-            config=config,
-            benchmarks=benchmarks,
-            mechanisms=mechanisms,
-            n_instructions=n_instructions,
-            mechanism_kwargs=mechanism_kwargs,
-        )
-        _SWEEP_CACHE[key] = suite.run()
-    return _SWEEP_CACHE[key]
 
 
 # ---------------------------------------------------------------------------
@@ -125,6 +108,7 @@ def main_sweep(
 def fig1_model_validation(
     benchmarks: Sequence[str] = ALL_BENCHMARKS,
     n_instructions: int = DEFAULT_INSTRUCTIONS,
+    executor: Optional[Executor] = None,
 ) -> ExperimentResult:
     """IPC difference between the MicroLib cache and a SimpleScalar-like one.
 
@@ -133,15 +117,21 @@ def fig1_model_validation(
     finite MSHR, pipeline stalls, LSQ back-pressure and refill ports; after
     aligning the models the residual was 2%.
     """
+    ex = executor or get_default_executor()
     precise = baseline_config()
     imprecise = precise.with_simplescalar_cache()
+    specs = []
+    for benchmark in benchmarks:
+        specs.append(RunSpec(benchmark, BASELINE, config=precise,
+                             n_instructions=n_instructions))
+        specs.append(RunSpec(benchmark, BASELINE, config=imprecise,
+                             n_instructions=n_instructions))
+    results = ex.run(specs)
     rows = []
     diffs = []
-    for benchmark in benchmarks:
-        a = run_benchmark(benchmark, BASELINE, config=precise,
-                          n_instructions=n_instructions)
-        b = run_benchmark(benchmark, BASELINE, config=imprecise,
-                          n_instructions=n_instructions)
+    for index, benchmark in enumerate(benchmarks):
+        a = results[2 * index]
+        b = results[2 * index + 1]
         diff = abs(b.ipc - a.ipc) / a.ipc if a.ipc else 0.0
         diffs.append(diff)
         rows.append({
@@ -166,6 +156,7 @@ def fig1_model_validation(
 def fig2_reveng_error(
     benchmarks: Sequence[str] = ALL_BENCHMARKS,
     n_instructions: int = DEFAULT_INSTRUCTIONS,
+    executor: Optional[Executor] = None,
 ) -> ExperimentResult:
     """Speedup error between reference and reverse-engineered builds.
 
@@ -176,31 +167,36 @@ def fig2_reveng_error(
     ``reverse_engineered`` build standing in for the authors' first
     attempt.
     """
+    ex = executor or get_default_executor()
     config = baseline_config().with_memory_model(MEMORY_CONSTANT)
+    cells = [(acronym, benchmark)
+             for acronym in ("TK", "TCP", "TKVC")
+             for benchmark in benchmarks]
+    specs = []
+    for acronym, benchmark in cells:
+        specs.append(RunSpec(benchmark, BASELINE, config=config,
+                             n_instructions=n_instructions))
+        specs.append(RunSpec(benchmark, acronym, config=config,
+                             n_instructions=n_instructions))
+        specs.append(RunSpec(benchmark, acronym, config=config,
+                             n_instructions=n_instructions,
+                             mechanism_kwargs={"reverse_engineered": True}))
+    results = ex.run(specs)
     rows = []
     errors = []
-    for acronym in ("TK", "TCP", "TKVC"):
-        for benchmark in benchmarks:
-            base = run_benchmark(benchmark, BASELINE, config=config,
-                                 n_instructions=n_instructions)
-            reference = run_benchmark(benchmark, acronym, config=config,
-                                      n_instructions=n_instructions)
-            misread = run_benchmark(
-                benchmark, acronym, config=config,
-                n_instructions=n_instructions,
-                mechanism_kwargs={"reverse_engineered": True},
-            )
-            ref_speedup = reference.speedup_over(base)
-            bad_speedup = misread.speedup_over(base)
-            error = abs(bad_speedup - ref_speedup) / ref_speedup
-            errors.append(error)
-            rows.append({
-                "mechanism": acronym,
-                "benchmark": benchmark,
-                "reference_speedup": ref_speedup,
-                "reveng_speedup": bad_speedup,
-                "error_pct": 100 * error,
-            })
+    for index, (acronym, benchmark) in enumerate(cells):
+        base, reference, misread = results[3 * index:3 * index + 3]
+        ref_speedup = reference.speedup_over(base)
+        bad_speedup = misread.speedup_over(base)
+        error = abs(bad_speedup - ref_speedup) / ref_speedup
+        errors.append(error)
+        rows.append({
+            "mechanism": acronym,
+            "benchmark": benchmark,
+            "reference_speedup": ref_speedup,
+            "reveng_speedup": bad_speedup,
+            "error_pct": 100 * error,
+        })
     return ExperimentResult(
         exhibit="Figure 2",
         title="Reverse-engineering speedup error (TK, TCP, TKVC)",
@@ -217,6 +213,7 @@ def fig2_reveng_error(
 def fig3_dbcp_fix(
     benchmarks: Optional[Sequence[str]] = None,
     n_instructions: int = DEFAULT_INSTRUCTIONS,
+    executor: Optional[Executor] = None,
 ) -> ExperimentResult:
     """DBCP 'initial' (three reverse-engineering defects) vs 'fixed'.
 
@@ -224,24 +221,26 @@ def fig3_dbcp_fix(
     also outperformed TK, reversing the ranking published in the TK
     article.
     """
+    ex = executor or get_default_executor()
     names = list(benchmarks) if benchmarks is not None else list(
         ARTICLE_SELECTIONS["DBCP"]
     )
+    specs = []
+    for benchmark in names:
+        specs.append(RunSpec(benchmark, BASELINE,
+                             n_instructions=n_instructions))
+        specs.append(RunSpec(benchmark, "DBCP", n_instructions=n_instructions,
+                             mechanism_kwargs={"variant": "initial"}))
+        specs.append(RunSpec(benchmark, "DBCP", n_instructions=n_instructions,
+                             mechanism_kwargs={"variant": "fixed"}))
+        specs.append(RunSpec(benchmark, "TK", n_instructions=n_instructions))
+    results = ex.run(specs)
     rows = []
     gaps = []
     fixed_speedups = []
     tk_speedups = []
-    for benchmark in names:
-        base = run_benchmark(benchmark, BASELINE, n_instructions=n_instructions)
-        initial = run_benchmark(
-            benchmark, "DBCP", n_instructions=n_instructions,
-            mechanism_kwargs={"variant": "initial"},
-        )
-        fixed = run_benchmark(
-            benchmark, "DBCP", n_instructions=n_instructions,
-            mechanism_kwargs={"variant": "fixed"},
-        )
-        tk = run_benchmark(benchmark, "TK", n_instructions=n_instructions)
+    for index, benchmark in enumerate(names):
+        base, initial, fixed, tk = results[4 * index:4 * index + 4]
         s_initial = initial.speedup_over(base)
         s_fixed = fixed.speedup_over(base)
         s_tk = tk.speedup_over(base)
@@ -276,9 +275,11 @@ def fig3_dbcp_fix(
 def fig4_speedup(
     benchmarks: Sequence[str] = ALL_BENCHMARKS,
     n_instructions: int = DEFAULT_INSTRUCTIONS,
+    executor: Optional[Executor] = None,
 ) -> ExperimentResult:
     """Average IPC speedup of every mechanism over the Table 1 baseline."""
-    results = main_sweep(benchmarks=benchmarks, n_instructions=n_instructions)
+    results = main_sweep(benchmarks=benchmarks, n_instructions=n_instructions,
+                         executor=executor)
     ranked = rank_mechanisms(results)
     rows = [
         {"mechanism": name, "mean_speedup": score,
@@ -307,9 +308,11 @@ def _mechanism_year(name: str) -> int:
 def fig5_cost_power(
     benchmarks: Sequence[str] = ALL_BENCHMARKS,
     n_instructions: int = DEFAULT_INSTRUCTIONS,
+    executor: Optional[Executor] = None,
 ) -> ExperimentResult:
     """Area and power of each mechanism relative to the base caches."""
-    results = main_sweep(benchmarks=benchmarks, n_instructions=n_instructions)
+    results = main_sweep(benchmarks=benchmarks, n_instructions=n_instructions,
+                         executor=executor)
     cacti = CactiModel()
     power = PowerModel()
     rows = []
@@ -381,8 +384,10 @@ def table6_subset_winners(
     benchmarks: Sequence[str] = ALL_BENCHMARKS,
     n_instructions: int = DEFAULT_INSTRUCTIONS,
     sizes: Optional[Sequence[int]] = None,
+    executor: Optional[Executor] = None,
 ) -> ExperimentResult:
-    results = main_sweep(benchmarks=benchmarks, n_instructions=n_instructions)
+    results = main_sweep(benchmarks=benchmarks, n_instructions=n_instructions,
+                         executor=executor)
     table = winners_by_subset_size(results, sizes)
     counts = count_possible_winners(table)
     rows = []
@@ -416,8 +421,10 @@ def table6_subset_winners(
 def table7_selection_ranking(
     benchmarks: Sequence[str] = ALL_BENCHMARKS,
     n_instructions: int = DEFAULT_INSTRUCTIONS,
+    executor: Optional[Executor] = None,
 ) -> ExperimentResult:
-    results = main_sweep(benchmarks=benchmarks, n_instructions=n_instructions)
+    results = main_sweep(benchmarks=benchmarks, n_instructions=n_instructions,
+                         executor=executor)
     available = set(results.benchmarks)
     selections = {
         "all": list(results.benchmarks),
@@ -426,13 +433,13 @@ def table7_selection_ranking(
     }
     rows = []
     ranks = {}
-    for label, selection in selections.items():
+    for name, selection in selections.items():
         if not selection:
             continue
         positions = ranking_positions(results, selection)
-        ranks[label] = positions
-        row = {"selection": label}
-        row.update({name: positions[name] for name in results.mechanisms})
+        ranks[name] = positions
+        row = {"selection": name}
+        row.update({mech: positions[mech] for mech in results.mechanisms})
         rows.append(row)
     summary = {}
     if "all" in ranks and "DBCP_article" in ranks and "DBCP" in ranks["all"]:
@@ -458,8 +465,10 @@ def table7_selection_ranking(
 def fig6_sensitivity(
     benchmarks: Sequence[str] = ALL_BENCHMARKS,
     n_instructions: int = DEFAULT_INSTRUCTIONS,
+    executor: Optional[Executor] = None,
 ) -> ExperimentResult:
-    results = main_sweep(benchmarks=benchmarks, n_instructions=n_instructions)
+    results = main_sweep(benchmarks=benchmarks, n_instructions=n_instructions,
+                         executor=executor)
     sensitivity = benchmark_sensitivity(results)
     rows = [
         {"benchmark": benchmark, "speedup_spread": spread}
@@ -482,8 +491,10 @@ def fig7_sensitivity_subsets(
     benchmarks: Sequence[str] = ALL_BENCHMARKS,
     n_instructions: int = DEFAULT_INSTRUCTIONS,
     k: int = 6,
+    executor: Optional[Executor] = None,
 ) -> ExperimentResult:
-    results = main_sweep(benchmarks=benchmarks, n_instructions=n_instructions)
+    results = main_sweep(benchmarks=benchmarks, n_instructions=n_instructions,
+                         executor=executor)
     high, low = sensitivity_split(results, k=min(k, len(results.benchmarks) // 2))
     table = subset_speedups(results, {
         "all": results.benchmarks,
@@ -517,6 +528,7 @@ def fig7_sensitivity_subsets(
 def fig8_memory_model(
     benchmarks: Sequence[str] = ALL_BENCHMARKS,
     n_instructions: int = DEFAULT_INSTRUCTIONS,
+    executor: Optional[Executor] = None,
 ) -> ExperimentResult:
     """Constant-70 vs detailed SDRAM vs scaled SDRAM-70."""
     models = {
@@ -525,17 +537,17 @@ def fig8_memory_model(
         "sdram70": baseline_config().with_memory_model(MEMORY_SDRAM_FAST),
     }
     sweeps = {
-        label: main_sweep(config=config, benchmarks=benchmarks,
-                          n_instructions=n_instructions, label=label)
-        for label, config in models.items()
+        name: main_sweep(config=config, benchmarks=benchmarks,
+                         n_instructions=n_instructions, executor=executor)
+        for name, config in models.items()
     }
     rows = []
     for name in sweeps["sdram"].mechanisms:
         if name == BASELINE:
             continue
         row = {"mechanism": name}
-        for label, results in sweeps.items():
-            row[label] = results.mean_speedup(name)
+        for model_name, results in sweeps.items():
+            row[model_name] = results.mean_speedup(name)
         rows.append(row)
 
     def gain(row, label):
@@ -583,12 +595,14 @@ def fig8_memory_model(
 def fig9_mshr(
     benchmarks: Sequence[str] = ALL_BENCHMARKS,
     n_instructions: int = DEFAULT_INSTRUCTIONS,
+    executor: Optional[Executor] = None,
 ) -> ExperimentResult:
-    finite = main_sweep(benchmarks=benchmarks, n_instructions=n_instructions)
+    finite = main_sweep(benchmarks=benchmarks, n_instructions=n_instructions,
+                        executor=executor)
     infinite = main_sweep(
         config=baseline_config().with_infinite_mshr(),
         benchmarks=benchmarks, n_instructions=n_instructions,
-        label="infinite_mshr",
+        executor=executor,
     )
     rows = []
     for name in finite.mechanisms:
@@ -621,19 +635,22 @@ def fig9_mshr(
 def fig10_second_guessing(
     benchmarks: Sequence[str] = ALL_BENCHMARKS,
     n_instructions: int = DEFAULT_INSTRUCTIONS,
+    executor: Optional[Executor] = None,
 ) -> ExperimentResult:
+    ex = executor or get_default_executor()
+    specs = []
+    for benchmark in benchmarks:
+        specs.append(RunSpec(benchmark, BASELINE,
+                             n_instructions=n_instructions))
+        specs.append(RunSpec(benchmark, "TCP", n_instructions=n_instructions,
+                             mechanism_kwargs={"queue_size": 1}))
+        specs.append(RunSpec(benchmark, "TCP", n_instructions=n_instructions,
+                             mechanism_kwargs={"queue_size": 128}))
+    results = ex.run(specs)
     rows = []
     diffs = []
-    for benchmark in benchmarks:
-        base = run_benchmark(benchmark, BASELINE, n_instructions=n_instructions)
-        small = run_benchmark(
-            benchmark, "TCP", n_instructions=n_instructions,
-            mechanism_kwargs={"queue_size": 1},
-        )
-        large = run_benchmark(
-            benchmark, "TCP", n_instructions=n_instructions,
-            mechanism_kwargs={"queue_size": 128},
-        )
+    for index, benchmark in enumerate(benchmarks):
+        base, small, large = results[3 * index:3 * index + 3]
         s_small = small.speedup_over(base)
         s_large = large.speedup_over(base)
         diffs.append(abs(s_large - s_small))
@@ -662,6 +679,7 @@ def fig11_trace_selection(
     benchmarks: Sequence[str] = ALL_BENCHMARKS,
     n_instructions: int = DEFAULT_INSTRUCTIONS,
     mechanisms: Sequence[str] = ALL_MECHANISMS,
+    executor: Optional[Executor] = None,
 ) -> ExperimentResult:
     """SimPoint-selected traces vs arbitrary skip-and-simulate windows.
 
@@ -670,36 +688,47 @@ def fig11_trace_selection(
     run length (the "skip some, simulate a lot" habit — which, as for the
     original articles, over-samples the program's initialisation phase);
     the SimPoint selection picks the representative steady-phase interval.
+    Both selections are declarative :class:`RunSpec` fields, so they cache
+    and parallelise like every other run.
     """
+    ex = executor or get_default_executor()
     full_length = int(n_instructions * 2.5)
     skip = n_instructions // 8
-    rows = []
-    per_mechanism: Dict[str, List[Tuple[float, float]]] = {
-        m: [] for m in mechanisms if m != BASELINE
-    }
-    for benchmark in benchmarks:
-        full_trace, image = build_workload(benchmark, full_length)
-        arbitrary = window(full_trace, skip, n_instructions)
-        simpoint = simpoint_trace(
-            full_trace, n_instructions, interval=max(500, n_instructions // 10)
+    interval = max(500, n_instructions // 10)
+    arbitrary = ("window", skip)
+    simpoint = ("simpoint", interval)
+    names = [m for m in mechanisms if m != BASELINE]
+
+    def spec(benchmark, mechanism, selection):
+        return RunSpec(
+            benchmark, mechanism,
+            n_instructions=n_instructions,
+            trace_length=full_length,
+            selection=selection,
         )
-        base_arbitrary = run_trace(arbitrary, None, image=image,
-                                   benchmark=benchmark)
-        base_simpoint = run_trace(simpoint, None, image=image,
-                                  benchmark=benchmark)
-        for name in per_mechanism:
-            mech_arbitrary = run_trace(
-                arbitrary, create(name), image=image, benchmark=benchmark,
-                mechanism_name=name,
-            )
-            mech_simpoint = run_trace(
-                simpoint, create(name), image=image, benchmark=benchmark,
-                mechanism_name=name,
-            )
+
+    specs = []
+    for benchmark in benchmarks:
+        specs.append(spec(benchmark, BASELINE, arbitrary))
+        specs.append(spec(benchmark, BASELINE, simpoint))
+        for name in names:
+            specs.append(spec(benchmark, name, arbitrary))
+            specs.append(spec(benchmark, name, simpoint))
+    results = ex.run(specs)
+
+    per_mechanism: Dict[str, List[Tuple[float, float]]] = {m: [] for m in names}
+    stride = 2 + 2 * len(names)
+    for b_index, benchmark in enumerate(benchmarks):
+        chunk = results[b_index * stride:(b_index + 1) * stride]
+        base_arbitrary, base_simpoint = chunk[0], chunk[1]
+        for m_index, name in enumerate(names):
+            mech_arbitrary = chunk[2 + 2 * m_index]
+            mech_simpoint = chunk[3 + 2 * m_index]
             per_mechanism[name].append((
                 mech_arbitrary.speedup_over(base_arbitrary),
                 mech_simpoint.speedup_over(base_simpoint),
             ))
+    rows = []
     arbitrary_better = 0
     for name, pairs in per_mechanism.items():
         mean_arbitrary = sum(p[0] for p in pairs) / len(pairs)

@@ -11,17 +11,20 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from repro.core.simulation import DEFAULT_INSTRUCTIONS
+from repro.exec import Executor
 from repro.harness.experiments import ExperimentResult, main_sweep
-from repro.mechanisms.registry import ALL_MECHANISMS, BASELINE
+from repro.mechanisms.registry import BASELINE
 from repro.workloads.registry import ALL_BENCHMARKS
 
 
 def speedup_matrix(
     benchmarks: Sequence[str] = ALL_BENCHMARKS,
     n_instructions: int = DEFAULT_INSTRUCTIONS,
+    executor: Optional[Executor] = None,
 ) -> ExperimentResult:
     """One row per mechanism: per-benchmark speedups plus the mean."""
-    results = main_sweep(benchmarks=benchmarks, n_instructions=n_instructions)
+    results = main_sweep(benchmarks=benchmarks, n_instructions=n_instructions,
+                         executor=executor)
     rows = []
     for mechanism in results.mechanisms:
         if mechanism == BASELINE:

@@ -1,8 +1,19 @@
 """Tests for the ``python -m repro`` command-line front end."""
 
+import json
+
 import pytest
 
 from repro.__main__ import EXHIBITS, main
+from repro.exec import reset_default_executor
+
+
+@pytest.fixture(autouse=True)
+def _fresh_default_executor():
+    """The CLI installs its executor as the process default; drop it so
+    other test modules keep their own memoisation lifecycle."""
+    yield
+    reset_default_executor()
 
 
 def test_list(capsys):
@@ -12,31 +23,61 @@ def test_list(capsys):
 
 
 def test_run_single_simulation(capsys):
-    assert main(["run", "swim", "TP", "--n", "2000"]) == 0
+    assert main(["run", "swim", "TP", "--n", "2000", "--no-cache"]) == 0
     out = capsys.readouterr().out
     assert "speedup=" in out and "ipc=" in out
 
 
 def test_exhibit_table5(capsys):
-    assert main(["table5"]) == 0
+    assert main(["table5", "--no-cache"]) == 0
     out = capsys.readouterr().out
     assert "Table 5" in out
 
 
 def test_exhibit_with_subset(capsys):
-    assert main(["fig6", "--n", "2500", "--benchmarks", "swim,gzip,art"]) == 0
-    out = capsys.readouterr().out
-    assert "Figure 6" in out and "swim" in out
+    assert main(["fig6", "--n", "2500", "--benchmarks", "swim,gzip,art",
+                 "--no-cache"]) == 0
+    captured = capsys.readouterr()
+    assert "Figure 6" in captured.out and "swim" in captured.out
+    # Telemetry goes to stderr so stdout is identical whatever --jobs is.
+    assert "executor:" in captured.err
+    assert "executor:" not in captured.out
+
+
+def test_cache_dir_flag_populates_store(tmp_path, capsys):
+    cache = tmp_path / "store"
+    assert main(["run", "swim", "TP", "--n", "2000",
+                 "--cache-dir", str(cache)]) == 0
+    first = capsys.readouterr().out
+    entries = list(cache.glob("*.json"))
+    assert len(entries) == 2  # Base + TP
+    payload = json.loads(entries[0].read_text())
+    assert payload["spec"]["benchmark"] == "swim"
+    # A second invocation answers fully from the store: same stdout.
+    assert main(["run", "swim", "TP", "--n", "2000",
+                 "--cache-dir", str(cache)]) == 0
+    second = capsys.readouterr().out
+    assert first == second
+
+
+def test_jobs_flag_matches_serial_output(tmp_path, capsys):
+    argv = ["fig10", "--n", "2000", "--benchmarks", "swim,gzip"]
+    assert main(argv + ["--jobs", "1", "--no-cache"]) == 0
+    serial = capsys.readouterr().out
+    assert main(argv + ["--jobs", "2", "--no-cache"]) == 0
+    parallel = capsys.readouterr().out
+    assert serial == parallel
+    assert "Figure 10" in serial
 
 
 def test_run_requires_benchmark():
     with pytest.raises(SystemExit):
-        main(["run"])
+        main(["run", "--no-cache"])
 
 
 def test_unknown_command():
     with pytest.raises(SystemExit):
-        main(["fig99"])
+        main(["fig99", "--no-cache"])
 
 
 def test_all_exhibits_registered():
@@ -50,6 +91,6 @@ def test_all_exhibits_registered():
 
 def test_static_table_exhibits(capsys):
     for name in ("table1", "table2", "table3", "table4"):
-        assert main([name]) == 0
+        assert main([name, "--no-cache"]) == 0
     out = capsys.readouterr().out
     assert "128-RUU" in out and "markov_table" in out

@@ -23,17 +23,17 @@ from repro.harness import (
     table6_subset_winners,
     table7_selection_ranking,
 )
-from repro.harness.experiments import clear_sweep_cache
+from repro.exec import reset_default_executor
 
 SMALL = ("swim", "gzip", "art", "crafty")
 N = 4000
 
 
 @pytest.fixture(autouse=True, scope="module")
-def _fresh_cache():
-    clear_sweep_cache()
+def _fresh_executor():
+    reset_default_executor()
     yield
-    clear_sweep_cache()
+    reset_default_executor()
 
 
 def test_main_sweep_is_memoised():
@@ -42,6 +42,22 @@ def test_main_sweep_is_memoised():
     second = main_sweep(benchmarks=SMALL, n_instructions=N,
                         mechanisms=("Base", "TP"))
     assert first is second
+
+
+def test_main_sweep_distinct_configs_do_not_collide():
+    """Regression: the old sweep cache was keyed by a caller-chosen label,
+    so two different MachineConfigs submitted under the same label shared
+    one ResultSet.  Identity now comes from the RunSpec content hash."""
+    from repro.core.config import baseline_config
+
+    precise = main_sweep(config=baseline_config(), benchmarks=SMALL[:1],
+                         n_instructions=N, mechanisms=("Base",))
+    imprecise = main_sweep(
+        config=baseline_config().with_simplescalar_cache(),
+        benchmarks=SMALL[:1], n_instructions=N, mechanisms=("Base",),
+    )
+    assert precise is not imprecise
+    assert precise.ipc("Base", SMALL[0]) != imprecise.ipc("Base", SMALL[0])
 
 
 def test_fig1_reports_model_difference():

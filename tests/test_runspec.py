@@ -1,0 +1,95 @@
+"""RunSpec identity: the content hash is the run, labels don't exist."""
+
+import dataclasses
+import pickle
+
+import pytest
+
+from repro.core.config import baseline_config
+from repro.core.simulation import run_benchmark
+from repro.exec import Executor, RunSpec
+
+N = 2000
+
+
+def test_hash_is_stable_and_kwarg_order_insensitive():
+    a = RunSpec("swim", "TCP", n_instructions=N,
+                mechanism_kwargs={"queue_size": 1, "reverse_engineered": False})
+    b = RunSpec("swim", "TCP", n_instructions=N,
+                mechanism_kwargs={"reverse_engineered": False, "queue_size": 1})
+    assert a.content_hash == b.content_hash
+    assert a == b
+
+
+def test_hash_covers_every_identity_field():
+    base = RunSpec("swim", "TP", n_instructions=N)
+    variants = [
+        RunSpec("gzip", "TP", n_instructions=N),
+        RunSpec("swim", "SP", n_instructions=N),
+        RunSpec("swim", "TP", n_instructions=N + 1),
+        RunSpec("swim", "TP", n_instructions=N,
+                config=baseline_config().with_infinite_mshr()),
+        RunSpec("swim", "TP", n_instructions=N,
+                mechanism_kwargs={"degree": 2}),
+        RunSpec("swim", "TP", n_instructions=N, trace_length=2 * N),
+        RunSpec("swim", "TP", n_instructions=N, trace_length=2 * N,
+                selection=("window", 100)),
+        RunSpec("swim", "TP", n_instructions=N, warmup_fraction=0.1),
+    ]
+    hashes = {base.content_hash} | {v.content_hash for v in variants}
+    assert len(hashes) == len(variants) + 1  # all distinct
+
+
+def test_distinct_configs_never_share_results():
+    """Regression for the label-keyed sweep cache: two different machine
+    configurations submitted identically (same benchmark, mechanism, n —
+    the old ``label`` collision) must resolve to distinct results."""
+    executor = Executor(jobs=1)
+    precise = RunSpec("swim", config=baseline_config(), n_instructions=N)
+    imprecise = RunSpec("swim",
+                        config=baseline_config().with_simplescalar_cache(),
+                        n_instructions=N)
+    assert precise.content_hash != imprecise.content_hash
+    a, b = executor.run([precise, imprecise])
+    assert a is not b
+    assert a.ipc != b.ipc
+    # Both were simulated — the second was not answered from the first's
+    # cache entry, which is exactly what the old label keying got wrong.
+    assert executor.telemetry.simulated == 2
+
+
+def test_execute_matches_run_benchmark():
+    spec = RunSpec("gzip", "TP", n_instructions=N)
+    via_spec = spec.execute()
+    direct = run_benchmark("gzip", "TP", n_instructions=N)
+    assert dataclasses.asdict(via_spec) == dataclasses.asdict(direct)
+
+
+def test_execute_trace_selections():
+    full = RunSpec("swim", n_instructions=N, trace_length=int(N * 2.5))
+    windowed = RunSpec("swim", n_instructions=N, trace_length=int(N * 2.5),
+                       selection=("window", N // 8))
+    simpointed = RunSpec("swim", n_instructions=N, trace_length=int(N * 2.5),
+                         selection=("simpoint", 500))
+    results = [full.execute(), windowed.execute(), simpointed.execute()]
+    for result in results:
+        assert result.instructions > 0
+        assert result.ipc > 0
+
+
+def test_spec_is_frozen_hashable_picklable():
+    spec = RunSpec("swim", "GHB", n_instructions=N,
+                   mechanism_kwargs={"degree": 4})
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        spec.benchmark = "gzip"
+    assert hash(spec) == hash(pickle.loads(pickle.dumps(spec)))
+    assert pickle.loads(pickle.dumps(spec)).content_hash == spec.content_hash
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError):
+        RunSpec("swim", n_instructions=0)
+    with pytest.raises(ValueError):
+        RunSpec("swim", n_instructions=N, trace_length=N - 1)
+    with pytest.raises(ValueError):
+        RunSpec("swim", n_instructions=N, selection=("nonsense", 1))
