@@ -1,0 +1,78 @@
+"""simlint command line: ``python -m repro.analysis [paths...]``."""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+import repro
+from repro.analysis import all_rules, analyze_paths
+
+
+def _default_target() -> Path:
+    """The installed ``repro`` package source tree."""
+    return Path(repro.__file__).resolve().parent
+
+
+def _list_rules() -> int:
+    for rule_obj in all_rules():
+        scope = ", ".join(p or "<tree>" for p in rule_obj.packages)
+        print(f"{rule_obj.rule_id}  {rule_obj.name:<22} [{scope}]")
+        print(f"        {rule_obj.doc}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="simlint: static contract & determinism analysis for "
+                    "the MicroLib component model",
+    )
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories to analyze "
+                             "(default: the repro package)")
+    parser.add_argument("--select", action="append", default=None,
+                        metavar="RULE",
+                        help="only run rules whose id starts with RULE or "
+                             "whose name equals RULE (repeatable)")
+    parser.add_argument("--format", choices=("text", "json"), default="text")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        return _list_rules()
+
+    targets: List[Path] = (
+        [Path(p) for p in args.paths] if args.paths else [_default_target()]
+    )
+    for target in targets:
+        if not target.exists():
+            print(f"error: no such path: {target}", file=sys.stderr)
+            return 2
+
+    violations = analyze_paths(targets, select=args.select)
+
+    if args.format == "json":
+        print(json.dumps(
+            [violation.__dict__ for violation in violations], indent=1
+        ))
+    else:
+        for violation in violations:
+            print(violation.render())
+        n_files = sum(
+            len(list(t.rglob("*.py"))) if t.is_dir() else 1 for t in targets
+        )
+        summary = (
+            f"simlint: {len(violations)} violation"
+            f"{'' if len(violations) == 1 else 's'} in {n_files} files"
+        )
+        print(summary, file=sys.stderr)
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -37,6 +37,7 @@ from repro.kernel.engine import Simulator
 from repro.kernel.module import Component
 from repro.kernel.resources import Bus
 from repro.mechanisms.base import Mechanism
+from repro.sanitize import SANITIZE, sanitize_failure
 
 
 @dataclass(frozen=True)
@@ -129,6 +130,12 @@ class MemoryHierarchy(Component):
             "prefetches_redundant", "prefetches for already-resident lines"
         )
 
+        #: Sanitizer freeze fingerprint: the frozen MachineConfig's repr is
+        #: deterministic, so any post-construction mutation (a back door
+        #: around frozen=True, e.g. object.__setattr__) is detectable at
+        #: run end by sanitize_verify().
+        self._config_fingerprint = repr(config) if SANITIZE else None
+
     # -- demand interface (called by the core) ------------------------------------
 
     def load(self, pc: int, addr: int, time: int) -> int:
@@ -218,6 +225,11 @@ class MemoryHierarchy(Component):
             throttle = lambda: self.memory.occupancy(time) >= limit
         budget = 4
         for queue in mech.iter_queues():
+            if SANITIZE and len(queue) > queue.capacity:
+                raise sanitize_failure(
+                    f"{mech.path}: prefetch queue holds {len(queue)} entries, "
+                    f"capacity {queue.capacity} (Table 3 bound violated)"
+                )
             while queue and budget:
                 if throttle is not None and throttle():
                     return
@@ -255,6 +267,37 @@ class MemoryHierarchy(Component):
             mech.on_prefetch_fill(self.l1d.block_of(addr), depth, ready)
         else:
             self.st_prefetches_redundant.add()
+
+    # -- sanitizer -----------------------------------------------------------------
+
+    def sanitize_verify(self) -> None:
+        """End-of-run invariant sweep (no-op unless ``REPRO_SANITIZE=1``).
+
+        Checks that the frozen config was never mutated behind the
+        hierarchy's back, that the mechanism wiring is still reciprocal,
+        and that every prefetch queue respects its declared capacity.
+        """
+        if self._config_fingerprint is None:
+            return
+        if repr(self.config) != self._config_fingerprint:
+            raise sanitize_failure(
+                "MachineConfig mutated after hierarchy construction; the "
+                "RunSpec content hash no longer describes this run"
+            )
+        mech = self.mechanism
+        if mech is not None:
+            target = self.l1d if mech.LEVEL == "l1" else self.l2
+            if mech.cache is not target or target.mechanism is not mech:
+                raise sanitize_failure(
+                    f"{mech.path}: attach wiring is not reciprocal with "
+                    f"{target.path}"
+                )
+            for queue in mech.iter_queues():
+                if len(queue) > queue.capacity:
+                    raise sanitize_failure(
+                        f"{mech.path}: prefetch queue holds {len(queue)} "
+                        f"entries, capacity {queue.capacity}"
+                    )
 
     # -- introspection -------------------------------------------------------------
 

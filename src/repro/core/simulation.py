@@ -84,6 +84,7 @@ def run_trace(
     core, hierarchy = build_machine(config, mechanism, image)
     measure_from = int(len(trace) * warmup_fraction)
     stats: CoreStats = core.run(trace, measure_from=measure_from)
+    hierarchy.sanitize_verify()  # no-op unless REPRO_SANITIZE=1
     return _collect(benchmark, mechanism_name or _name_of(mechanism),
                     stats, hierarchy)
 

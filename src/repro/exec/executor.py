@@ -61,7 +61,7 @@ class Executor:
         store: Optional[ResultStore] = None,
         telemetry: Optional[Telemetry] = None,
         progress: Optional[ProgressFn] = None,
-    ):
+    ) -> None:
         self.jobs = max(1, jobs if jobs is not None else (os.cpu_count() or 1))
         self.store = store
         self.telemetry = telemetry if telemetry is not None else Telemetry()
@@ -154,7 +154,7 @@ class Executor:
         benchmarks: Sequence[str] = ALL_BENCHMARKS,
         mechanisms: Sequence[str] = ALL_MECHANISMS,
         n_instructions: int = DEFAULT_INSTRUCTIONS,
-        mechanism_kwargs: Optional[Dict[str, Dict]] = None,
+        mechanism_kwargs: Optional[Dict[str, Dict[str, object]]] = None,
     ) -> ResultSet:
         """The mechanism x benchmark grid as a :class:`ResultSet`.
 

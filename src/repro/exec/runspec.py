@@ -17,7 +17,7 @@ import hashlib
 import json
 from dataclasses import dataclass, field
 from functools import cached_property
-from typing import Dict, Mapping, Optional, Tuple
+from typing import Any, Dict, Mapping, Optional, Tuple
 
 from repro.core.config import MachineConfig, baseline_config
 from repro.core.simulation import (
@@ -63,7 +63,7 @@ class RunSpec:
     n_instructions: int = DEFAULT_INSTRUCTIONS
     mechanism_kwargs: Tuple[Tuple[str, object], ...] = ()
     trace_length: Optional[int] = None
-    selection: Optional[Tuple] = None
+    selection: Optional[Tuple[Any, ...]] = None
     warmup_fraction: float = WARMUP_FRACTION
 
     def __post_init__(self) -> None:
@@ -92,7 +92,7 @@ class RunSpec:
 
     # -- identity -------------------------------------------------------------
 
-    def describe(self) -> Dict:
+    def describe(self) -> Dict[str, Any]:
         """A JSON-ready dict of every field that defines run identity."""
         return {
             "benchmark": self.benchmark,

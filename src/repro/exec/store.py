@@ -9,9 +9,12 @@ can audit what a hash means) and the complete
 
 Reads are forgiving: a missing, truncated, corrupted or
 version-mismatched file is a cache miss, never an error — the executor
-simply re-simulates and rewrites it.  Writes are atomic
-(temp file + ``os.replace``) so a killed run cannot leave a partial file
-that poisons later sweeps.
+simply re-simulates and rewrites it.  Writes are atomic and durable:
+the payload is written to a same-directory temp file, flushed and
+``fsync``'d, then ``os.replace``'d over the final name, so a worker
+killed mid-write can never leave a truncated entry under a real hash —
+only a stray ``*.tmp`` file, which reads ignore and
+:meth:`ResultStore.put` sweeps up on the next write.
 """
 
 from __future__ import annotations
@@ -30,6 +33,19 @@ from repro.exec.runspec import RunSpec
 STORE_VERSION = 1
 
 
+def _pid_alive(pid: int) -> bool:
+    """Whether ``pid`` names a live process (signal 0 probe)."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except (PermissionError, OSError):
+        return True  # exists but not ours
+    return True
+
+
 def default_cache_dir() -> Path:
     """``$REPRO_CACHE_DIR`` when set, else ``~/.cache/repro``."""
     env = os.environ.get("REPRO_CACHE_DIR")
@@ -41,7 +57,7 @@ def default_cache_dir() -> Path:
 class ResultStore:
     """Directory of ``<content-hash>.json`` result files."""
 
-    def __init__(self, root: Optional[Union[str, Path]] = None):
+    def __init__(self, root: Optional[Union[str, Path]] = None) -> None:
         self.root = Path(root).expanduser() if root else default_cache_dir()
 
     def path_for(self, spec: RunSpec) -> Path:
@@ -61,7 +77,7 @@ class ResultStore:
             return None  # schema drift or hand-edited file
 
     def put(self, spec: RunSpec, result: RunResult) -> Path:
-        """Atomically persist ``result`` under ``spec``'s hash."""
+        """Atomically and durably persist ``result`` under ``spec``'s hash."""
         self.root.mkdir(parents=True, exist_ok=True)
         path = self.path_for(spec)
         payload = {
@@ -70,9 +86,43 @@ class ResultStore:
             "result": dataclasses.asdict(result),
         }
         tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
-        tmp.write_text(json.dumps(payload, sort_keys=True, indent=1), "utf-8")
-        os.replace(tmp, path)
+        try:
+            with open(tmp, "w", encoding="utf-8") as handle:
+                handle.write(json.dumps(payload, sort_keys=True, indent=1))
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, path)
+        except BaseException:
+            # Never leave a half-written temp behind on this code path;
+            # a SIGKILL can still strand one, which sweep_stale handles.
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self._sweep_stale()
         return path
+
+    def _sweep_stale(self) -> None:
+        """Drop temp files stranded by processes that no longer exist.
+
+        Temp names embed the writer's pid; a temp whose writer is gone
+        (or that another live writer owns) is garbage from a killed run.
+        Live writers' files are left alone — they are about to be renamed.
+        """
+        for stray in self.root.glob(".*.tmp"):
+            pid_part = stray.name.rsplit(".", 2)[-2]
+            if pid_part == str(os.getpid()):
+                continue
+            try:
+                alive = pid_part.isdigit() and _pid_alive(int(pid_part))
+            except ValueError:
+                alive = False
+            if not alive:
+                try:
+                    stray.unlink()
+                except OSError:
+                    pass
 
     def __len__(self) -> int:
         try:

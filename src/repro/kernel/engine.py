@@ -13,6 +13,8 @@ import heapq
 import itertools
 from typing import Any, Callable, List, Optional, Tuple
 
+from repro.sanitize import SANITIZE, sanitize_failure
+
 
 class Event:
     """A scheduled callback.
@@ -23,7 +25,13 @@ class Event:
 
     __slots__ = ("time", "seq", "fn", "args", "cancelled")
 
-    def __init__(self, time: int, seq: int, fn: Callable, args: Tuple):
+    def __init__(
+        self,
+        time: int,
+        seq: int,
+        fn: Callable[..., object],
+        args: Tuple[Any, ...],
+    ) -> None:
         self.time = time
         self.seq = seq
         self.fn = fn
@@ -61,20 +69,25 @@ class Simulator:
         self._seq = itertools.count()
         self.now: int = 0
 
-    def schedule(self, time: int, fn: Callable, *args: Any) -> Event:
+    def schedule(self, time: int, fn: Callable[..., object], *args: Any) -> Event:
         """Schedule ``fn(*args)`` at absolute cycle ``time``.
 
         Scheduling in the past is clamped to *now*: the caller computed a
         completion timestamp that has already been passed by the driving
         clock, so the effect is immediate at the next drain.
         """
+        if SANITIZE and not isinstance(time, int):
+            raise sanitize_failure(
+                f"non-integral event time {time!r} scheduled for {fn!r}; "
+                "cycle times must be ints or replay order is ill-defined"
+            )
         if time < self.now:
             time = self.now
         event = Event(time, next(self._seq), fn, args)
         heapq.heappush(self._queue, event)
         return event
 
-    def schedule_in(self, delay: int, fn: Callable, *args: Any) -> Event:
+    def schedule_in(self, delay: int, fn: Callable[..., object], *args: Any) -> Event:
         """Schedule ``fn(*args)`` ``delay`` cycles from now."""
         if delay < 0:
             raise ValueError(f"negative delay: {delay}")
@@ -103,6 +116,11 @@ class Simulator:
             event = heapq.heappop(self._queue)
             if event.cancelled:
                 continue
+            if SANITIZE and event.time < self.now:
+                raise sanitize_failure(
+                    f"event-time monotonicity broken: firing t={event.time} "
+                    f"with now={self.now}"
+                )
             self.now = event.time
             event.fn(*event.args)
         if time > self.now:
@@ -114,6 +132,11 @@ class Simulator:
             event = heapq.heappop(self._queue)
             if event.cancelled:
                 continue
+            if SANITIZE and event.time < self.now:
+                raise sanitize_failure(
+                    f"event-time monotonicity broken: firing t={event.time} "
+                    f"with now={self.now}"
+                )
             self.now = event.time
             event.fn(*event.args)
 

@@ -34,7 +34,7 @@ class StatCounter:
 
     __slots__ = ("name", "desc", "value")
 
-    def __init__(self, name: str, desc: str = "", value: float = 0):
+    def __init__(self, name: str, desc: str = "", value: float = 0) -> None:
         self.name = name
         self.desc = desc
         self.value = value
@@ -59,7 +59,7 @@ class Port:
 
     __slots__ = ("name", "owner", "peer")
 
-    def __init__(self, name: str, owner: "Component"):
+    def __init__(self, name: str, owner: "Component") -> None:
         self.name = name
         self.owner = owner
         self.peer: Optional["Port"] = None
@@ -95,7 +95,7 @@ class Component:
     returned objects directly.
     """
 
-    def __init__(self, name: str, parent: Optional["Component"] = None):
+    def __init__(self, name: str, parent: Optional["Component"] = None) -> None:
         self.name = name
         self.parent = parent
         self.children: List["Component"] = []

@@ -12,7 +12,7 @@ produce, at a tiny fraction of the cost.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Dict, Tuple
 
 
 class MultiPortResource:
@@ -43,13 +43,13 @@ class MultiPortResource:
     #: Ledger entries older than this many grants trigger a prune sweep.
     _PRUNE_EVERY = 8192
 
-    def __init__(self, n_ports: int, hold: int = 1):
+    def __init__(self, n_ports: int, hold: int = 1) -> None:
         if n_ports < 1:
             raise ValueError(f"need at least one port, got {n_ports}")
         if hold != 1:
             raise ValueError("only single-cycle port occupancy is supported")
         self.n_ports = n_ports
-        self._ledger: dict = {}
+        self._ledger: Dict[int, int] = {}
         self.grants = 0
         self._floor = 0  # cycles below this are assumed fully drained
 
@@ -105,7 +105,7 @@ class PipelinedResource:
 
     __slots__ = ("initiation_interval", "_next_start", "accepts", "stall_cycles")
 
-    def __init__(self, initiation_interval: int = 1):
+    def __init__(self, initiation_interval: int = 1) -> None:
         if initiation_interval < 1:
             raise ValueError(
                 f"initiation interval must be >= 1, got {initiation_interval}"
@@ -150,7 +150,7 @@ class Bus:
 
     __slots__ = ("transfer_cycles", "_next_free", "busy_cycles", "transfers")
 
-    def __init__(self, transfer_cycles: int):
+    def __init__(self, transfer_cycles: int) -> None:
         if transfer_cycles < 1:
             raise ValueError(f"transfer must take >= 1 cycle, got {transfer_cycles}")
         self.transfer_cycles = transfer_cycles

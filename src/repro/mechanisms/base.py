@@ -38,9 +38,10 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, List, Optional, TYPE_CHECKING
+from typing import Deque, Iterator, List, Optional, TYPE_CHECKING
 
 from repro.kernel.module import Component
+from repro.sanitize import SANITIZE, sanitize_failure
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.cache.cache import Cache
@@ -86,7 +87,7 @@ class PrefetchQueue:
     performance dramatically in both directions.
     """
 
-    def __init__(self, capacity: int):
+    def __init__(self, capacity: int) -> None:
         if capacity < 1:
             raise ValueError(f"queue capacity must be >= 1, got {capacity}")
         self.capacity = capacity
@@ -134,7 +135,9 @@ class Mechanism(Component):
     #: than the cache itself — such fills do not arbitrate for cache MSHRs.
     USES_PREFETCH_BUFFER = False
 
-    def __init__(self, name: Optional[str] = None, parent: Optional[Component] = None):
+    def __init__(
+        self, name: Optional[str] = None, parent: Optional[Component] = None
+    ) -> None:
         super().__init__(name or type(self).__name__.lower(), parent)
         self.cache: Optional["Cache"] = None
         self.hierarchy: Optional["MemoryHierarchy"] = None
@@ -187,7 +190,7 @@ class Mechanism(Component):
 
     # -- services for subclasses ---------------------------------------------------
 
-    def iter_queues(self):
+    def iter_queues(self) -> Iterator[PrefetchQueue]:
         """All prefetch queues this mechanism owns (composites override)."""
         if self.queue is not None:
             yield self.queue
@@ -196,6 +199,11 @@ class Mechanism(Component):
         """Queue a prefetch for byte address ``addr``; False when dropped."""
         if self.queue is None:
             raise RuntimeError(f"{self.path} declares no prefetch queue")
+        if SANITIZE and (addr < 0 or time < 0 or depth < 0):
+            raise sanitize_failure(
+                f"{self.path}: emit_prefetch(addr={addr}, time={time}, "
+                f"depth={depth}) has a negative field"
+            )
         accepted = self.queue.push(PrefetchRequest(addr, time, depth))
         if accepted:
             self.st_prefetches.add()

@@ -1,0 +1,12 @@
+"""SIM102: a typo'd hook name the hierarchy would silently never call."""
+
+
+class Mechanism:
+    LEVEL = "l1"
+
+
+class TypoPrefetcher(Mechanism):
+    LEVEL = "l2"
+
+    def on_acess(self, pc, block, hit, was_prefetched, time):  # expect: SIM102
+        pass

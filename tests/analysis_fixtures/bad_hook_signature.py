@@ -1,0 +1,12 @@
+"""SIM103: an overridden hook with the wrong positional parameters."""
+
+
+class Mechanism:
+    LEVEL = "l1"
+
+
+class ShiftedArgs(Mechanism):
+    LEVEL = "l1"
+
+    def on_miss(self, block, pc, time):  # expect: SIM103 (pc/block swapped)
+        pass

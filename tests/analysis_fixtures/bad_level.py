@@ -1,0 +1,9 @@
+"""SIM101: LEVEL must be the literal 'l1' or 'l2'."""
+
+
+class Mechanism:  # stand-in base so the snippet is self-contained
+    LEVEL = "l1"
+
+
+class L3Prefetcher(Mechanism):
+    LEVEL = "l3"  # expect: SIM101

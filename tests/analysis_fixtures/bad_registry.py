@@ -1,0 +1,18 @@
+"""SIM106: registry tables out of sync (factory without catalogue info)."""
+
+BASELINE = "Base"
+
+ALL_MECHANISMS = (BASELINE, "XX", "GHOST")
+
+
+def _make_xx():
+    return None
+
+
+_FACTORIES = {
+    "XX": _make_xx,  # expect: SIM106 (no _INFO entry)
+}
+
+_INFO = {
+    BASELINE: ("Base", "-", 0, "baseline"),
+}

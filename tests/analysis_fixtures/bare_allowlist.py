@@ -1,0 +1,7 @@
+"""SIM001: an allow comment with no justification is itself a violation."""
+
+import os
+
+
+def cache_dir():
+    return os.environ.get("X_CACHE")  # simlint: allow[SIM203]

@@ -1,0 +1,14 @@
+"""SIM402: the same port name registered twice in one class."""
+
+
+class Component:
+    def add_port(self, name):
+        return object()
+
+
+class DoublePorted(Component):
+    def __init__(self, peer):
+        self.req = self.add_port("req")
+        self.req2 = self.add_port("req")  # expect: SIM402
+        self.req.bind(peer.req)
+        self.req2.bind(peer.req)

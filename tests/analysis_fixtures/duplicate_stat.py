@@ -1,0 +1,12 @@
+"""SIM401: the same stat name registered twice in one class."""
+
+
+class Component:
+    def add_stat(self, name, desc=""):
+        return object()
+
+
+class DoubleCounter(Component):
+    def __init__(self):
+        self.st_hits = self.add_stat("hits")
+        self.st_hits2 = self.add_stat("hits")  # expect: SIM401

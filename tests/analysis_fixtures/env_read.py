@@ -1,0 +1,7 @@
+"""SIM203: configuration smuggled in through the environment."""
+
+import os
+
+
+def latency():
+    return int(os.environ.get("SECRET_LATENCY", "70"))  # expect: SIM203

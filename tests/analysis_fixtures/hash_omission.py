@@ -1,0 +1,12 @@
+"""SIM302: a RunSpec field invisible to the content hash."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    benchmark: str = "swim"
+    secret_knob: int = 0  # expect: SIM302 (describe() skips it)
+
+    def describe(self):
+        return {"benchmark": self.benchmark}

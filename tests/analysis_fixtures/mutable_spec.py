@@ -1,0 +1,11 @@
+"""SIM301: a run-identity dataclass that is not frozen."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class RunSpec:  # expect: SIM301
+    benchmark: str = "swim"
+
+    def describe(self):
+        return {"benchmark": self.benchmark}

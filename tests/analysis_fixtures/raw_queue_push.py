@@ -1,0 +1,17 @@
+"""SIM104: prefetch pushed straight into the queue, bypassing emit_prefetch."""
+
+
+class Mechanism:
+    LEVEL = "l1"
+
+
+class PrefetchRequest:
+    def __init__(self, addr, time, depth=0):
+        self.addr = addr
+
+
+class SneakyPrefetcher(Mechanism):
+    LEVEL = "l2"
+
+    def on_miss(self, pc, block, time):
+        self.queue.push(PrefetchRequest(block + 1, time))  # expect: SIM104

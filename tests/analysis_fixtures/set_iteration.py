@@ -1,0 +1,6 @@
+"""SIM204: iterating a set — order varies with PYTHONHASHSEED."""
+
+
+def flush_order(dirty_lines):
+    for line in set(dirty_lines):  # expect: SIM204
+        yield line

@@ -1,0 +1,11 @@
+"""SIM403: a declared port nothing ever binds — traffic would dead-end."""
+
+
+class Component:
+    def add_port(self, name):
+        return object()
+
+
+class DeadEnd(Component):
+    def __init__(self):
+        self.resp = self.add_port("resp")  # expect: SIM403 (never bound)

@@ -1,0 +1,17 @@
+"""SIM105: side tables allocated but no structures() declared for costing."""
+
+from collections import OrderedDict
+
+
+class Mechanism:
+    LEVEL = "l1"
+
+
+class FreeHardware(Mechanism):
+    LEVEL = "l1"
+
+    def __init__(self):
+        self._history = OrderedDict()  # expect: SIM105 (no structures())
+
+    def on_miss(self, pc, block, time):
+        self._history[block] = time

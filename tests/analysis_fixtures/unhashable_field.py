@@ -1,0 +1,13 @@
+"""SIM303: a spec field annotated with a mutable container."""
+
+from dataclasses import dataclass, field
+from typing import List
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    benchmark: str = "swim"
+    extras: List[str] = field(default_factory=list)  # expect: SIM303
+
+    def describe(self):
+        return {"benchmark": self.benchmark, "extras": self.extras}

@@ -1,0 +1,7 @@
+"""SIM201: process-global RNG on the simulated path."""
+
+import random
+
+
+def pick_victim(ways):
+    return random.randrange(ways)  # expect: SIM201

@@ -1,0 +1,7 @@
+"""SIM202: wall-clock read on the simulated path."""
+
+import time
+
+
+def timestamp_access():
+    return time.time()  # expect: SIM202

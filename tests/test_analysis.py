@@ -1,0 +1,305 @@
+"""simlint static analyzer, the runtime sanitizer, and store atomicity."""
+
+import dataclasses
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import all_rules, analyze_paths
+from repro.cache.hierarchy import MemoryHierarchy
+from repro.core.config import baseline_config
+from repro.core.simulation import RunResult
+from repro.exec import ResultStore, RunSpec
+from repro.mechanisms.base import Mechanism
+from repro.kernel.engine import Event, Simulator
+from repro.sanitize import SanitizeError
+
+REPO = Path(__file__).resolve().parent.parent
+SRC_TREE = REPO / "src" / "repro"
+FIXTURES = REPO / "tests" / "analysis_fixtures"
+
+#: Every known-bad fixture and the single rule it must trigger.
+FIXTURE_RULES = {
+    "bare_allowlist.py": "SIM001",
+    "bad_level.py": "SIM101",
+    "bad_hook_name.py": "SIM102",
+    "bad_hook_signature.py": "SIM103",
+    "raw_queue_push.py": "SIM104",
+    "undeclared_structure.py": "SIM105",
+    "bad_registry.py": "SIM106",
+    "unseeded_rng.py": "SIM201",
+    "wall_clock.py": "SIM202",
+    "env_read.py": "SIM203",
+    "set_iteration.py": "SIM204",
+    "mutable_spec.py": "SIM301",
+    "hash_omission.py": "SIM302",
+    "unhashable_field.py": "SIM303",
+    "duplicate_stat.py": "SIM401",
+    "duplicate_port.py": "SIM402",
+    "unbound_port.py": "SIM403",
+}
+
+
+def _lint_env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    return env
+
+
+def _run_cli(*args):
+    return subprocess.run(
+        [sys.executable, "-m", "repro.analysis", *args],
+        capture_output=True, text=True, env=_lint_env(), cwd=REPO,
+    )
+
+
+# -- the analyzer --------------------------------------------------------------
+
+def test_every_fixture_is_mapped():
+    on_disk = {p.name for p in FIXTURES.glob("*.py")}
+    assert on_disk == set(FIXTURE_RULES)
+
+
+@pytest.mark.parametrize("fixture,expected", sorted(FIXTURE_RULES.items()))
+def test_fixture_triggers_exactly_its_rule(fixture, expected):
+    violations = analyze_paths([FIXTURES / fixture])
+    assert violations, f"{fixture} produced no violations"
+    assert {v.rule for v in violations} == {expected}
+
+
+def test_shipped_tree_is_violation_free():
+    violations = analyze_paths([SRC_TREE])
+    assert violations == [], "\n".join(v.render() for v in violations)
+
+
+def test_rule_catalog_is_well_formed():
+    rules = all_rules()
+    assert len({r.rule_id for r in rules}) == len(rules)
+    assert set(FIXTURE_RULES.values()) <= (
+        {r.rule_id for r in rules} | {"SIM001"}
+    )
+    for r in rules:
+        assert r.doc, f"{r.rule_id} has no doc"
+
+
+def test_allow_with_reason_suppresses(tmp_path):
+    bad = tmp_path / "snippet.py"
+    bad.write_text(
+        "import os\n"
+        'FLAG = os.environ.get("X")  # simlint: allow[SIM203] read once at import\n'
+    )
+    assert analyze_paths([bad]) == []
+
+
+def test_allow_on_preceding_line_suppresses(tmp_path):
+    bad = tmp_path / "snippet.py"
+    bad.write_text(
+        "import os\n"
+        "# simlint: allow[SIM203] read once at import\n"
+        'FLAG = os.environ.get("X")\n'
+    )
+    assert analyze_paths([bad]) == []
+
+
+def test_allow_for_other_rule_does_not_suppress(tmp_path):
+    bad = tmp_path / "snippet.py"
+    bad.write_text(
+        "import os\n"
+        'FLAG = os.environ.get("X")  # simlint: allow[SIM999] wrong rule\n'
+    )
+    assert {v.rule for v in analyze_paths([bad])} == {"SIM203"}
+
+
+def test_bare_allow_is_itself_flagged(tmp_path):
+    bad = tmp_path / "snippet.py"
+    bad.write_text(
+        "import os\n"
+        'FLAG = os.environ.get("X")  # simlint: allow[SIM203]\n'
+    )
+    assert {v.rule for v in analyze_paths([bad])} == {"SIM001"}
+
+
+def test_syntax_error_becomes_sim000(tmp_path):
+    bad = tmp_path / "broken.py"
+    bad.write_text("def oops(:\n")
+    assert {v.rule for v in analyze_paths([bad])} == {"SIM000"}
+
+
+def test_select_filters_rules():
+    violations = analyze_paths(
+        [FIXTURES / "unseeded_rng.py"], select=["SIM4"]
+    )
+    assert violations == []
+
+
+# -- the CLI -------------------------------------------------------------------
+
+def test_cli_clean_tree_exits_zero():
+    proc = _run_cli(str(SRC_TREE))
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "0 violations" in proc.stderr
+
+
+def test_cli_violations_exit_one():
+    proc = _run_cli(str(FIXTURES / "wall_clock.py"))
+    assert proc.returncode == 1
+    assert "SIM202" in proc.stdout
+
+
+def test_cli_bad_path_exits_two():
+    proc = _run_cli(str(REPO / "no" / "such" / "path.py"))
+    assert proc.returncode == 2
+
+
+def test_cli_default_target_is_the_package():
+    proc = _run_cli()
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+# -- the runtime sanitizer -----------------------------------------------------
+
+def test_sanitizer_rejects_non_integer_event_time(monkeypatch):
+    monkeypatch.setattr("repro.kernel.engine.SANITIZE", True)
+    sim = Simulator()
+    with pytest.raises(SanitizeError):
+        sim.schedule(1.5, lambda: None)
+
+
+def test_sanitizer_detects_broken_monotonicity(monkeypatch):
+    monkeypatch.setattr("repro.kernel.engine.SANITIZE", True)
+    sim = Simulator()
+    sim.run_until(10)
+    # Bypass schedule()'s clamp to model a corrupted queue.
+    import heapq
+
+    heapq.heappush(sim._queue, Event(5, 0, lambda: None, ()))
+    with pytest.raises(SanitizeError):
+        sim.run()
+
+
+def test_sanitizer_rejects_negative_prefetch(monkeypatch):
+    monkeypatch.setattr("repro.mechanisms.base.SANITIZE", True)
+
+    class Toy(Mechanism):
+        QUEUE_SIZE = 2
+
+    mech = Toy()
+    assert mech.emit_prefetch(64, time=3)
+    with pytest.raises(SanitizeError):
+        mech.emit_prefetch(-64, time=3)
+
+
+def test_sanitize_verify_passes_on_healthy_hierarchy(monkeypatch):
+    monkeypatch.setattr("repro.cache.hierarchy.SANITIZE", True)
+
+    class Toy(Mechanism):
+        LEVEL = "l1"
+        QUEUE_SIZE = 2
+
+    hier = MemoryHierarchy(baseline_config(), mechanism=Toy())
+    hier.sanitize_verify()
+
+
+def test_sanitize_verify_catches_config_mutation(monkeypatch):
+    monkeypatch.setattr("repro.cache.hierarchy.SANITIZE", True)
+    hier = MemoryHierarchy(baseline_config())
+    object.__setattr__(hier.config, "precise_cache", not hier.config.precise_cache)
+    with pytest.raises(SanitizeError):
+        hier.sanitize_verify()
+
+
+def test_sanitize_verify_catches_broken_wiring(monkeypatch):
+    monkeypatch.setattr("repro.cache.hierarchy.SANITIZE", True)
+
+    class Toy(Mechanism):
+        LEVEL = "l1"
+
+    hier = MemoryHierarchy(baseline_config(), mechanism=Toy())
+    hier.l1d.mechanism = None
+    with pytest.raises(SanitizeError):
+        hier.sanitize_verify()
+
+
+def test_sanitize_verify_is_noop_when_disarmed(monkeypatch):
+    monkeypatch.setattr("repro.cache.hierarchy.SANITIZE", False)
+    hier = MemoryHierarchy(baseline_config())
+    object.__setattr__(hier.config, "precise_cache", not hier.config.precise_cache)
+    hier.sanitize_verify()  # must not raise
+
+
+def test_sanitized_run_end_to_end():
+    env = _lint_env()
+    env["REPRO_SANITIZE"] = "1"
+    proc = subprocess.run(
+        [sys.executable, "-c",
+         "from repro.core import run_benchmark;"
+         "r = run_benchmark('swim', 'TP', n_instructions=1500);"
+         "assert r.cycles > 0"],
+        capture_output=True, text=True, env=env, cwd=REPO,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+# -- store atomicity -----------------------------------------------------------
+
+def _result(benchmark="swim", mechanism="Base"):
+    return RunResult(
+        benchmark=benchmark, mechanism=mechanism, ipc=1.0, cycles=10,
+        instructions=10, l1_miss_rate=0.0, l2_miss_rate=0.0,
+        avg_load_latency=1.0, avg_memory_latency=1.0, memory_accesses=0.0,
+        prefetches_issued=0.0, useful_prefetches=0.0,
+        mechanism_table_accesses=0.0,
+    )
+
+
+def test_put_leaves_no_temp_files(tmp_path):
+    store = ResultStore(tmp_path)
+    spec = RunSpec("swim", "Base", n_instructions=500)
+    store.put(spec, _result())
+    assert list(tmp_path.glob("*.tmp")) == []
+    assert list(tmp_path.glob(".*.tmp")) == []
+    assert dataclasses.asdict(store.get(spec)) == dataclasses.asdict(_result())
+
+
+def test_failed_write_preserves_existing_entry(tmp_path, monkeypatch):
+    store = ResultStore(tmp_path)
+    spec = RunSpec("swim", "Base", n_instructions=500)
+    store.put(spec, _result())
+    before = store.path_for(spec).read_text("utf-8")
+
+    def explode(src, dst):
+        raise OSError("disk full")
+
+    monkeypatch.setattr("repro.exec.store.os.replace", explode)
+    with pytest.raises(OSError):
+        store.put(spec, _result(mechanism="TP"))
+    assert store.path_for(spec).read_text("utf-8") == before
+    assert list(tmp_path.glob(".*.tmp")) == []
+
+
+def test_sweep_removes_dead_writers_temp(tmp_path):
+    store = ResultStore(tmp_path)
+    proc = subprocess.Popen([sys.executable, "-c", "pass"])
+    proc.wait()
+    stale = tmp_path / f".deadbeef.json.{proc.pid}.tmp"
+    stale.write_text("{}")
+    junk = tmp_path / ".deadbeef.json.notapid.tmp"
+    junk.write_text("{}")
+    mine = tmp_path / f".deadbeef.json.{os.getpid()}.tmp"
+    mine.write_text("{}")
+
+    store.put(RunSpec("swim", "Base", n_instructions=500), _result())
+    assert not stale.exists(), "dead writer's temp should be swept"
+    assert not junk.exists(), "malformed temp should be swept"
+    assert mine.exists(), "a live writer's temp must be left alone"
+
+
+def test_truncated_entry_reads_as_miss(tmp_path):
+    store = ResultStore(tmp_path)
+    spec = RunSpec("swim", "Base", n_instructions=500)
+    path = store.put(spec, _result())
+    path.write_text(path.read_text("utf-8")[:40])
+    assert store.get(spec) is None
