@@ -11,9 +11,10 @@ import dataclasses
 import os
 import time
 
-from conftest import OUT_DIR
+from conftest import LEDGER_PATH, OUT_DIR
 
 from repro.exec import Executor
+from repro.obs.ledger import Ledger, make_record
 from repro.workloads.registry import build as build_workload
 
 GRID_BENCHMARKS = ("swim", "gzip", "art", "mcf", "equake", "crafty")
@@ -68,6 +69,18 @@ def test_executor_scaling(benchmark, bench_n):
     ]
     text = "\n".join(lines)
     (OUT_DIR / "executor_scaling.txt").write_text(text + "\n")
+    ledger = Ledger(LEDGER_PATH)
+    for label, seconds, jobs in (
+        ("executor_scaling_serial", serial_seconds, 1),
+        ("executor_scaling_parallel", parallel_seconds, PARALLEL_JOBS),
+    ):
+        ledger.append(make_record(
+            label=label,
+            wall_seconds=seconds,
+            instructions=runs * n,
+            n_instructions=n,
+            metrics={"runs_simulated": float(runs), "jobs": float(jobs)},
+        ))
     print()
     print(text)
 

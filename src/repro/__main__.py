@@ -4,6 +4,7 @@ Examples::
 
     python -m repro list
     python -m repro run swim GHB --n 20000
+    python -m repro run swim TK --n 20000 --trace tk.json  # Perfetto timeline
     python -m repro fig4 --n 20000 --jobs 4
     python -m repro table6 --benchmarks swim,gzip,art,mcf
     python -m repro all --n 8000 --jobs 4  # every exhibit, quick scale
@@ -26,6 +27,7 @@ from typing import Callable, Dict
 
 from repro import harness
 from repro.exec import Executor, ResultStore, RunSpec, set_default_executor
+from repro.obs.tracing import TRACER
 from repro.harness.matrix import speedup_matrix
 from repro.harness.tables import (
     table1_configuration,
@@ -112,6 +114,35 @@ def _build_executor(args) -> Executor:
     return Executor(jobs=args.jobs, store=store)
 
 
+def _print_summary(executor: Executor) -> None:
+    """The one-line executor accounting, on stderr for every command."""
+    print(executor.telemetry.summary_line(), file=sys.stderr)
+
+
+def _arm_tracing(args) -> None:
+    """Apply ``--trace``: in-process, uncached, tracer recording.
+
+    A store or memo hit skips simulation entirely and a worker process
+    traces into its own (discarded) tracer, so a useful trace needs
+    ``jobs=1`` and no result store; both are forced, with a note when
+    that overrides an explicit flag.
+    """
+    if args.jobs not in (None, 1):
+        print(f"--trace forces --jobs 1 (was {args.jobs})", file=sys.stderr)
+    if not args.no_cache:
+        print("--trace forces --no-cache (traced runs must simulate)",
+              file=sys.stderr)
+    args.jobs = 1
+    args.no_cache = True
+    TRACER.start()
+
+
+def _export_trace(args) -> None:
+    path = TRACER.export(args.trace)
+    print(f"trace: {len(TRACER)} events -> {path} "
+          "(load in Perfetto / chrome://tracing)", file=sys.stderr)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -137,27 +168,38 @@ def main(argv=None) -> int:
                              "or $REPRO_CACHE_DIR)")
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the on-disk result store")
+    parser.add_argument("--trace", metavar="OUT.json", default=None,
+                        help="record a Chrome trace_event timeline of the "
+                             "run to OUT.json (forces --jobs 1 --no-cache)")
     args = parser.parse_args(argv)
 
     if args.command == "list":
         return _cmd_list()
 
+    if args.trace:
+        _arm_tracing(args)
     executor = set_default_executor(_build_executor(args))
-    if args.command == "run":
-        if not args.benchmark:
-            parser.error("'run' needs a benchmark (and optional mechanism)")
-        return _cmd_run(args, executor)
-    if args.command == "all":
-        for name in EXHIBITS:
-            _run_exhibit(name, args, executor)
-            print()
-        print(executor.telemetry.summary_line(), file=sys.stderr)
-        return 0
-    if args.command in EXHIBITS:
-        status = _run_exhibit(args.command, args, executor)
-        if args.command not in STATIC:
-            print(executor.telemetry.summary_line(), file=sys.stderr)
-        return status
+    try:
+        if args.command == "run":
+            if not args.benchmark:
+                parser.error("'run' needs a benchmark (and optional mechanism)")
+            status = _cmd_run(args, executor)
+            _print_summary(executor)
+            return status
+        if args.command == "all":
+            for name in EXHIBITS:
+                _run_exhibit(name, args, executor)
+                print()
+            _print_summary(executor)
+            return 0
+        if args.command in EXHIBITS:
+            status = _run_exhibit(args.command, args, executor)
+            if args.command not in STATIC:
+                _print_summary(executor)
+            return status
+    finally:
+        if args.trace:
+            _export_trace(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

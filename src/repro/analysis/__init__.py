@@ -15,6 +15,8 @@ The rule families (catalogue in ``docs/analysis.md``):
 * **SIM2xx** determinism lint (sim-path packages + ``workloads``).
 * **SIM3xx** RunSpec/config purity (``repro.exec.runspec``, ``repro.core.config``).
 * **SIM4xx** port/stat wiring (whole tree).
+* **SIM5xx** observability wiring (whole tree) — orphan stats, dynamic
+  span names.
 
 The same invariants have a *runtime* twin: setting ``REPRO_SANITIZE=1``
 arms cheap assertions in the kernel and the cache hierarchy (see
@@ -25,7 +27,13 @@ dynamic pass re-checks about the behaviour.
 from __future__ import annotations
 
 # Importing the rule modules registers their rules.
-from repro.analysis import contract, determinism, purity, wiring  # noqa: F401
+from repro.analysis import (  # noqa: F401
+    contract,
+    determinism,
+    obsrules,
+    purity,
+    wiring,
+)
 from repro.analysis.core import (
     Rule,
     SourceModule,

@@ -37,6 +37,7 @@ from repro.kernel.engine import Simulator
 from repro.kernel.module import Component
 from repro.kernel.resources import Bus
 from repro.mechanisms.base import Mechanism
+from repro.obs.tracing import TRACER
 from repro.sanitize import SANITIZE, sanitize_failure
 
 
@@ -129,6 +130,17 @@ class MemoryHierarchy(Component):
         self.st_prefetches_redundant = self.add_stat(
             "prefetches_redundant", "prefetches for already-resident lines"
         )
+        # Bus accounting mirrored into StatCounters at end of run (see
+        # finalize_stats) so stats_report — and through it the obs metrics
+        # pipeline's occupancy rates — sees the bus traffic.
+        self.st_l1_l2_bus_busy = self.add_stat(
+            "l1_l2_bus_busy_cycles", "cycles the L1/L2 data bus was seized"
+        )
+        self.st_l1_l2_bus_transfers = self.add_stat("l1_l2_bus_transfers")
+        self.st_memory_bus_busy = self.add_stat(
+            "memory_bus_busy_cycles", "cycles the memory data bus was seized"
+        )
+        self.st_memory_bus_transfers = self.add_stat("memory_bus_transfers")
 
         #: Sanitizer freeze fingerprint: the frozen MachineConfig's repr is
         #: deterministic, so any post-construction mutation (a back door
@@ -176,9 +188,14 @@ class MemoryHierarchy(Component):
 
     def _fetch_from_l2(self, addr: int, time: int, pc: int, is_prefetch: bool) -> int:
         """L1 miss: command to L2, L2 access, data back over the data bus."""
+        tracing = TRACER.enabled
+        if tracing:
+            TRACER.begin("cache.l1_fill", cat="cache")
         _, request_at = self.l1_l2_cmd.acquire(time)
         ready = self.l2.access(pc, addr, request_at, is_write=False)
         _, arrival = self.l1_l2_bus.acquire(ready)
+        if tracing:
+            TRACER.end(cycles=arrival - time, prefetch=is_prefetch)
         return arrival
 
     def _writeback_to_l2(self, addr: int, time: int) -> None:
@@ -188,12 +205,18 @@ class MemoryHierarchy(Component):
 
     def _fetch_from_memory(self, addr: int, time: int, pc: int, is_prefetch: bool) -> int:
         """L2 miss: command over the memory bus, DRAM, data return transfer."""
+        tracing = TRACER.enabled
+        if tracing:
+            TRACER.begin("cache.l2_fill", cat="cache")
         if isinstance(self.memory, ConstantLatencyMemory):
             # SimpleScalar-style memory: fixed latency, infinite bandwidth.
-            return self.memory.access(addr, time)
-        _, request_at = self.memory_cmd.acquire(time)
-        ready = self.memory.access(addr, request_at)
-        _, arrival = self.memory_bus.acquire(ready)
+            arrival = self.memory.access(addr, time)
+        else:
+            _, request_at = self.memory_cmd.acquire(time)
+            ready = self.memory.access(addr, request_at)
+            _, arrival = self.memory_bus.acquire(ready)
+        if tracing:
+            TRACER.end(cycles=arrival - time, prefetch=is_prefetch)
         return arrival
 
     def _writeback_to_memory(self, addr: int, time: int) -> None:
@@ -224,6 +247,7 @@ class MemoryHierarchy(Component):
             limit = (self.memory.config.queue_entries * 3) // 4
             throttle = lambda: self.memory.occupancy(time) >= limit
         budget = 4
+        drained = 0
         for queue in mech.iter_queues():
             if SANITIZE and len(queue) > queue.capacity:
                 raise sanitize_failure(
@@ -232,13 +256,18 @@ class MemoryHierarchy(Component):
                 )
             while queue and budget:
                 if throttle is not None and throttle():
-                    return
+                    budget = 0
+                    break
                 budget -= 1
                 request = queue.pop()
+                drained += 1
                 if mech.LEVEL == "l2":
                     self._issue_l2_prefetch(mech, request.addr, time, request.depth)
                 else:
                     self._issue_l1_prefetch(mech, request.addr, time, request.depth)
+        if drained and TRACER.enabled:
+            TRACER.instant("cache.prefetch_drain", cat="cache",
+                           drained=drained, cycle=time)
 
     def _issue_l2_prefetch(self, mech: Mechanism, addr: int, time: int, depth: int) -> None:
         if self.l2.contains(addr) or not self.l2.can_accept_prefetch(time):
@@ -267,6 +296,21 @@ class MemoryHierarchy(Component):
             mech.on_prefetch_fill(self.l1d.block_of(addr), depth, ready)
         else:
             self.st_prefetches_redundant.add()
+
+    # -- end-of-run accounting -----------------------------------------------------
+
+    def finalize_stats(self) -> None:
+        """Mirror bus counters into StatCounters before reporting.
+
+        The buses are deliberately bare (no Component machinery on the
+        per-transfer path); run_trace calls this once at end of run so
+        ``stats_report()`` — and the obs metrics pipeline's occupancy
+        rates — still see the traffic.  Idempotent.
+        """
+        self.st_l1_l2_bus_busy.value = self.l1_l2_bus.busy_cycles
+        self.st_l1_l2_bus_transfers.value = self.l1_l2_bus.transfers
+        self.st_memory_bus_busy.value = self.memory_bus.busy_cycles
+        self.st_memory_bus_transfers.value = self.memory_bus.transfers
 
     # -- sanitizer -----------------------------------------------------------------
 

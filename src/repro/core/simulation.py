@@ -19,6 +19,8 @@ from repro.core.config import MachineConfig, baseline_config
 from repro.cpu.ooo import CoreStats, OoOCore
 from repro.mechanisms.base import Mechanism
 from repro.mechanisms.registry import create
+from repro.obs.sampling import maybe_sampler
+from repro.obs.tracing import TRACER
 from repro.workloads.registry import build as build_workload
 
 #: Default trace length: scaled from the paper's 500M-instruction SimPoint
@@ -81,12 +83,23 @@ def run_trace(
     warmup_fraction: float = WARMUP_FRACTION,
 ) -> RunResult:
     """Run an explicit trace on a fresh machine; return a :class:`RunResult`."""
+    name = mechanism_name or _name_of(mechanism)
+    tracing = TRACER.enabled
+    if tracing:
+        TRACER.begin("sim.run_trace", cat="sim",
+                     benchmark=benchmark, mechanism=name)
     core, hierarchy = build_machine(config, mechanism, image)
     measure_from = int(len(trace) * warmup_fraction)
-    stats: CoreStats = core.run(trace, measure_from=measure_from)
+    sampler = maybe_sampler(hierarchy, len(trace),
+                            benchmark=benchmark, mechanism=name)
+    stats: CoreStats = core.run(trace, measure_from=measure_from,
+                                sampler=sampler)
+    hierarchy.finalize_stats()
     hierarchy.sanitize_verify()  # no-op unless REPRO_SANITIZE=1
-    return _collect(benchmark, mechanism_name or _name_of(mechanism),
-                    stats, hierarchy)
+    result = _collect(benchmark, name, stats, hierarchy)
+    if tracing:
+        TRACER.end(ipc=round(result.ipc, 4), instructions=stats.instructions)
+    return result
 
 
 def run_benchmark(

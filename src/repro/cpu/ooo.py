@@ -34,9 +34,13 @@ from repro.core.config import CoreConfig
 from repro.isa.instr import FU_LATENCY, FU_POOL, Op
 from repro.kernel.module import Component
 from repro.kernel.resources import MultiPortResource
+from repro.obs.tracing import TRACER
 
 #: Completion-history ring size for dependence lookups.
 _RING = 512
+
+#: Sampling threshold meaning "never" (no sampler attached).
+_NO_SAMPLE = 1 << 62
 
 
 @dataclass
@@ -86,14 +90,26 @@ class OoOCore(Component):
             "lsu": MultiPortResource(config.lsu),
         }
 
-    def run(self, trace: Sequence, measure_from: int = 0) -> CoreStats:
+    def run(self, trace: Sequence, measure_from: int = 0,
+            sampler=None) -> CoreStats:
         """Simulate ``trace`` to completion; return the run's statistics.
 
         ``measure_from`` marks the end of the warm-up window: IPC is
         reported over instructions ``measure_from..end`` only (caches and
         predictors stay warm across the boundary), the standard discipline
         for short traces where cold misses would otherwise dominate.
+
+        ``sampler`` is an optional :class:`repro.obs.IntervalSampler`:
+        every ``sampler.interval`` records it snapshots the hierarchy's
+        statistics for per-interval rate breakdowns.  It only observes —
+        a sampled run's result is identical to an unsampled one — and
+        when absent costs one integer comparison per record.
         """
+        tracing = TRACER.enabled
+        if tracing:
+            TRACER.begin("cpu.run", cat="cpu")
+        sample_every = sampler.interval if sampler is not None else 0
+        next_sample = sample_every if sample_every else _NO_SAMPLE
         cfg = self.config
         hierarchy = self.hierarchy
         load_op = int(Op.LOAD)
@@ -213,6 +229,9 @@ class OoOCore(Component):
             ring[ring_pos] = complete
             ring_pos = (ring_pos + 1) % _RING
             stats.instructions += 1
+            if index >= next_sample:
+                sampler.sample(index, commit_cycle)
+                next_sample += sample_every
 
         if measure_from and stats.instructions > measure_from:
             stats.instructions -= measure_from
@@ -224,6 +243,10 @@ class OoOCore(Component):
         stats.branches = n_branches
         stats.mispredicts = n_mispredicts
         stats.load_latency_total = load_latency_total
+        if sampler is not None:
+            sampler.finish(index, commit_cycle)
+        if tracing:
+            TRACER.end(instructions=stats.instructions, cycles=stats.cycles)
         return stats
 
     def reset(self) -> None:

@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.kernel.module import Component
+from repro.obs.tracing import TRACER
 
 
 class ConstantLatencyMemory(Component):
@@ -30,8 +31,13 @@ class ConstantLatencyMemory(Component):
         self.st_latency = self.add_stat("total_latency", "sum of access latencies")
 
     def access(self, addr: int, time: int, is_write: bool = False) -> int:
+        tracing = TRACER.enabled
+        if tracing:
+            TRACER.begin("dram.access", cat="dram")
         self.st_requests.add()
         self.st_latency.add(self.latency)
+        if tracing:
+            TRACER.end(cycles=self.latency, write=is_write)
         return time + self.latency
 
     @property

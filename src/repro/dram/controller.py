@@ -17,6 +17,7 @@ from repro.core.config import SDRAMConfig
 from repro.dram.scheduling import PERMUTATION_INTERLEAVE
 from repro.dram.sdram import SDRAM
 from repro.kernel.module import Component
+from repro.obs.tracing import TRACER
 
 
 class SDRAMController(Component):
@@ -49,6 +50,9 @@ class SDRAMController(Component):
         be opened) but their completion does not gate the requester — the
         hierarchy simply drops the returned time for writebacks.
         """
+        tracing = TRACER.enabled
+        if tracing:
+            TRACER.begin("dram.access", cat="dram")
         admitted = time
         if len(self._slots) >= self.config.queue_entries:
             earliest = heapq.heappop(self._slots)
@@ -59,6 +63,9 @@ class SDRAMController(Component):
         heapq.heappush(self._slots, ready)
         self.st_requests.add()
         self.st_latency.add(ready - time)
+        if tracing:
+            TRACER.end(cycles=ready - time, queue_wait=admitted - time,
+                       write=is_write)
         return ready
 
     def occupancy(self, time: int) -> int:

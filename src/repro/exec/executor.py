@@ -34,6 +34,7 @@ from repro.exec.telemetry import (
     Telemetry,
 )
 from repro.mechanisms.registry import ALL_MECHANISMS, BASELINE
+from repro.obs.tracing import TRACER
 from repro.workloads.registry import ALL_BENCHMARKS
 
 #: progress(completed_simulations, total_simulations, spec_just_finished)
@@ -42,9 +43,16 @@ ProgressFn = Callable[[int, int, RunSpec], None]
 
 def _execute_timed(spec: RunSpec) -> Tuple[str, RunResult, float]:
     """Worker entry point: run one spec, report its wall time."""
+    tracing = TRACER.enabled
+    if tracing:
+        TRACER.begin("exec.simulate", cat="exec",
+                     benchmark=spec.benchmark, mechanism=spec.mechanism)
     start = time.perf_counter()
     result = spec.execute()
-    return spec.content_hash, result, time.perf_counter() - start
+    seconds = time.perf_counter() - start
+    if tracing:
+        TRACER.end(seconds=round(seconds, 6))
+    return spec.content_hash, result, seconds
 
 
 class Executor:
@@ -73,6 +81,9 @@ class Executor:
 
     def run(self, specs: Sequence[RunSpec]) -> List[RunResult]:
         """Resolve every spec; results align with ``specs`` by position."""
+        tracing = TRACER.enabled
+        if tracing:
+            TRACER.begin("exec.batch", cat="exec", specs=len(specs))
         start = time.perf_counter()
         order: List[str] = []
         unique: Dict[str, RunSpec] = {}
@@ -100,6 +111,8 @@ class Executor:
         self.telemetry.record_batch(
             len(specs), len(unique), time.perf_counter() - start
         )
+        if tracing:
+            TRACER.end(unique=len(unique), simulated=len(to_simulate))
         return [self._memo[key] for key in order]
 
     def _simulate(self, specs: List[RunSpec]) -> None:
@@ -138,6 +151,10 @@ class Executor:
             self.progress(done, total, spec)
 
     def _record(self, spec: RunSpec, source: str, seconds: float = 0.0) -> None:
+        if TRACER.enabled:
+            TRACER.instant("exec.resolve", cat="exec",
+                           benchmark=spec.benchmark,
+                           mechanism=spec.mechanism, source=source)
         self.telemetry.record(RunRecord(
             spec_hash=spec.content_hash,
             benchmark=spec.benchmark,

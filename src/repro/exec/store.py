@@ -30,7 +30,8 @@ from repro.exec.runspec import RunSpec
 
 #: Bump when the stored payload layout (or RunResult schema) changes;
 #: older entries then read as misses instead of crashing deserialisation.
-STORE_VERSION = 1
+#: 2: RunResult.stats gained the hierarchy's bus counters (finalize_stats).
+STORE_VERSION = 2
 
 
 def _pid_alive(pid: int) -> bool:

@@ -76,14 +76,14 @@ class Telemetry:
         return sum(r.seconds for r in self.records)
 
     def summary_line(self) -> str:
-        parts = [
-            f"{self.results_returned} results",
-            f"{self.simulated} simulated",
-            f"{self.cache_hits} cache hits "
-            f"({self.memo_hits} memo, {self.store_hits} store, "
-            f"{self.deduped} deduped)",
-            f"wall {self.wall_time:.2f}s",
-        ]
-        if self.simulated:
-            parts.append(f"avg {self.sim_seconds / self.simulated:.3f}s/sim")
-        return "executor: " + ", ".join(parts)
+        """One-line accounting, rendered through the obs metrics registry.
+
+        ``repro.obs.metrics.executor_summary_line`` harvests the counters
+        into the default registry and formats the exact line this method
+        has always printed — one code path for ``--jobs`` batches and
+        single runs alike.  (Imported here, not at module top, so the
+        executor package stays importable without ``repro.obs``.)
+        """
+        from repro.obs.metrics import executor_summary_line
+
+        return executor_summary_line(self)

@@ -13,6 +13,7 @@ import heapq
 import itertools
 from typing import Any, Callable, List, Optional, Tuple
 
+from repro.obs.tracing import TRACER
 from repro.sanitize import SANITIZE, sanitize_failure
 
 
@@ -112,6 +113,10 @@ class Simulator:
         *now* ends at ``time`` even if the queue drains earlier, so resource
         models can rely on it as the driving clock's current cycle.
         """
+        tracing = TRACER.enabled
+        if tracing:
+            TRACER.begin("kernel.drain", cat="kernel")
+        fired = 0
         while self._queue and self._queue[0].time <= time:
             event = heapq.heappop(self._queue)
             if event.cancelled:
@@ -123,11 +128,18 @@ class Simulator:
                 )
             self.now = event.time
             event.fn(*event.args)
+            fired += 1
         if time > self.now:
             self.now = time
+        if tracing:
+            TRACER.end(events=fired, now=self.now)
 
     def run(self) -> None:
         """Fire all pending events."""
+        tracing = TRACER.enabled
+        if tracing:
+            TRACER.begin("kernel.drain", cat="kernel")
+        fired = 0
         while self._queue:
             event = heapq.heappop(self._queue)
             if event.cancelled:
@@ -139,6 +151,9 @@ class Simulator:
                 )
             self.now = event.time
             event.fn(*event.args)
+            fired += 1
+        if tracing:
+            TRACER.end(events=fired, now=self.now)
 
     def reset(self) -> None:
         """Drop all pending events and rewind the clock to cycle 0."""

@@ -1,0 +1,172 @@
+"""Observability command line: ``python -m repro.obs <command>``.
+
+Commands::
+
+    record          run one reference simulation, append a ledger record
+    list            print the ledger's entries
+    diff A B        per-metric regression report between two entries
+    report          trajectory: latest vs previous entry per label
+    validate-trace  check a Chrome trace JSON file against the schema
+
+Entry selectors for ``diff`` accept ``latest``, ``prev``, integer
+indices (negatives count from the end) and ``label`` / ``label@-2``
+forms; see :meth:`repro.obs.ledger.Ledger.resolve`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Optional, Sequence
+
+from repro.obs.ledger import Ledger, make_record, render_diff
+from repro.obs.metrics import derive_metrics
+from repro.obs.tracing import validate_trace_file
+
+
+def _cmd_record(args: argparse.Namespace) -> int:
+    from repro.exec.runspec import RunSpec  # deferred: pulls the simulator in
+
+    spec = RunSpec(args.benchmark, args.mechanism, n_instructions=args.n)
+    start = time.perf_counter()
+    result = spec.execute()
+    seconds = time.perf_counter() - start
+    label = args.label or f"{args.benchmark}/{args.mechanism}"
+    record = make_record(
+        label=label,
+        wall_seconds=seconds,
+        instructions=result.instructions,
+        spec_hash=spec.content_hash,
+        benchmark=args.benchmark,
+        mechanism=args.mechanism,
+        n_instructions=args.n,
+        metrics=derive_metrics(result),
+    )
+    Ledger(args.ledger).append(record)
+    print(
+        f"recorded {label}: wall {record.wall_seconds:.3f}s, "
+        f"{record.events_per_second:.0f} events/s, "
+        f"peak RSS {record.peak_rss_kb} kB"
+    )
+    return 0
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    ledger = Ledger(args.ledger)
+    records, problems = ledger.scan()
+    for index, record in enumerate(records):
+        print(
+            f"[{index}] {record.timestamp}  {record.label:<32} "
+            f"wall {record.wall_seconds:>8.3f}s  "
+            f"{record.events_per_second:>10.0f} ev/s  "
+            f"rss {record.peak_rss_kb:>8d} kB"
+        )
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if not records:
+        print(f"(ledger {ledger.path} is empty)")
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    ledger = Ledger(args.ledger)
+    try:
+        before = ledger.resolve(args.a)
+        after = ledger.resolve(args.b)
+    except LookupError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(render_diff(before, after))
+    if args.fail_on_regression:
+        from repro.obs.ledger import diff_records
+        if any(row.regression for row in diff_records(before, after)):
+            return 1
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    ledger = Ledger(args.ledger)
+    records, problems = ledger.scan()
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if not records:
+        print(f"(ledger {ledger.path} is empty)")
+        return 0
+    labels = []
+    for record in records:
+        if record.label not in labels:
+            labels.append(record.label)
+    for label in labels:
+        entries = [r for r in records if r.label == label]
+        latest = entries[-1]
+        line = (
+            f"{label:<32} n={len(entries):<3} "
+            f"wall {latest.wall_seconds:>8.3f}s  "
+            f"{latest.events_per_second:>10.0f} ev/s"
+        )
+        if len(entries) >= 2:
+            prev = entries[-2]
+            if prev.wall_seconds:
+                pct = (latest.wall_seconds - prev.wall_seconds) \
+                    / prev.wall_seconds * 100.0
+                line += f"  ({pct:+.1f}% wall vs prev)"
+        print(line)
+    return 0
+
+
+def _cmd_validate_trace(args: argparse.Namespace) -> int:
+    problems = validate_trace_file(args.path)
+    if problems:
+        for problem in problems:
+            print(problem, file=sys.stderr)
+        print(f"INVALID: {args.path} ({len(problems)} problems)",
+              file=sys.stderr)
+        return 1
+    print(f"valid Chrome trace: {args.path}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="benchmark ledger and trace tooling",
+    )
+    parser.add_argument("--ledger", default=None,
+                        help="ledger file (default BENCH_obs.json or "
+                             "$REPRO_LEDGER)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_record = sub.add_parser("record", help="run and append one measurement")
+    p_record.add_argument("--benchmark", default="swim")
+    p_record.add_argument("--mechanism", default="GHB")
+    p_record.add_argument("--n", type=int, default=8000,
+                          help="instructions to simulate (default 8000)")
+    p_record.add_argument("--label", default=None,
+                          help="record label (default benchmark/mechanism)")
+    p_record.set_defaults(fn=_cmd_record)
+
+    p_list = sub.add_parser("list", help="print every ledger entry")
+    p_list.set_defaults(fn=_cmd_list)
+
+    p_diff = sub.add_parser("diff", help="regression report between entries")
+    p_diff.add_argument("a", help="before: latest | prev | index | label[@-N]")
+    p_diff.add_argument("b", help="after: same selectors")
+    p_diff.add_argument("--fail-on-regression", action="store_true",
+                        help="exit 1 when any tracked metric regresses")
+    p_diff.set_defaults(fn=_cmd_diff)
+
+    p_report = sub.add_parser("report", help="trajectory summary per label")
+    p_report.set_defaults(fn=_cmd_report)
+
+    p_validate = sub.add_parser("validate-trace",
+                                help="validate a Chrome trace JSON file")
+    p_validate.add_argument("path")
+    p_validate.set_defaults(fn=_cmd_validate_trace)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,13 @@
+"""SIM502: tracer event name built dynamically."""
+
+
+class Tracer:
+    def begin(self, name, **args):
+        pass
+
+
+TRACER = Tracer()
+
+
+def drain(queue_name):
+    TRACER.begin(f"drain.{queue_name}")  # expect: SIM502

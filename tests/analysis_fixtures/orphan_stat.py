@@ -1,0 +1,13 @@
+"""SIM501: a StatCounter constructed outside Component.add_stat."""
+
+
+class StatCounter:
+    def __init__(self, name, desc=""):
+        self.name = name
+        self.desc = desc
+        self.value = 0
+
+
+class LonelyCounter:
+    def __init__(self):
+        self.hits = StatCounter("hits")  # expect: SIM501

@@ -40,6 +40,8 @@ FIXTURE_RULES = {
     "duplicate_stat.py": "SIM401",
     "duplicate_port.py": "SIM402",
     "unbound_port.py": "SIM403",
+    "orphan_stat.py": "SIM501",
+    "fstring_span.py": "SIM502",
 }
 
 
