@@ -17,16 +17,33 @@ default ``~/.cache/repro`` or ``$REPRO_CACHE_DIR``; ``--no-cache``
 disables it) so repeated and overlapping exhibits never re-simulate.
 Exhibit tables go to stdout; the telemetry summary goes to stderr, so
 piped output is identical whatever the job count.
+
+Fault tolerance: ``--retries``/``--timeout`` configure the executor's
+:class:`~repro.exec.policy.RetryPolicy`.  The CLI runs *lenient* by
+default — a spec that fails every attempt becomes an annotated hole in
+the exhibit instead of aborting the whole run; ``--strict`` restores
+fail-fast (first exhausted spec exits non-zero).  Chaos runs are driven
+by ``REPRO_FAULTS`` (see :mod:`repro.exec.faults`).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Callable, Dict
 
 from repro import harness
-from repro.exec import Executor, ResultStore, RunSpec, set_default_executor
+from repro.exec import (
+    Executor,
+    FailedRun,
+    ResultStore,
+    RetryPolicy,
+    RunSpec,
+    SpecExhausted,
+    active_plan,
+    set_default_executor,
+)
 from repro.obs.tracing import TRACER
 from repro.harness.matrix import speedup_matrix
 from repro.harness.tables import (
@@ -85,6 +102,11 @@ def _cmd_run(args, executor: Executor) -> int:
     base_spec = RunSpec(args.benchmark, n_instructions=args.n)
     mech_spec = RunSpec(args.benchmark, args.mechanism, n_instructions=args.n)
     base, result = executor.run([base_spec, mech_spec])
+    failed = [r for r in (base, result) if isinstance(r, FailedRun)]
+    if failed:
+        for failure in failed:
+            print(f"FAILED: {failure.summary()}", file=sys.stderr)
+        return 1
     print(f"{args.benchmark} / {args.mechanism}: "
           f"ipc={result.ipc:.4f} speedup={result.speedup_over(base):.3f} "
           f"l1_miss={result.l1_miss_rate:.1%} "
@@ -111,12 +133,47 @@ def _build_executor(args) -> Executor:
     store = None
     if not args.no_cache:
         store = ResultStore(args.cache_dir)  # None -> default cache dir
-    return Executor(jobs=args.jobs, store=store)
+    # The CLI degrades gracefully by default: exhausted specs become
+    # annotated holes in the exhibits.  --strict restores fail-fast.
+    policy = RetryPolicy(
+        retries=args.retries, timeout=args.timeout, strict=args.strict
+    )
+    return Executor(jobs=args.jobs, store=store, policy=policy)
 
 
 def _print_summary(executor: Executor) -> None:
     """The one-line executor accounting, on stderr for every command."""
     print(executor.telemetry.summary_line(), file=sys.stderr)
+
+
+def _append_ledger_entry(command: str, executor: Executor) -> None:
+    """Record this invocation's executor accounting in the obs ledger.
+
+    Only when someone is watching: ``$REPRO_LEDGER`` names a ledger
+    file, or a fault plan is armed (a chaos run without a ledger entry
+    has nothing to assert against).  Clean interactive runs don't grow
+    a ledger as a side effect.
+    """
+    plan = active_plan()
+    if not os.environ.get("REPRO_LEDGER") and plan is None:
+        return
+    from repro.obs.ledger import Ledger, make_record
+
+    telemetry = executor.telemetry
+    record = make_record(
+        label=f"cli-{command}",
+        wall_seconds=telemetry.wall_time,
+        retries=telemetry.retries,
+        failures=telemetry.failures,
+        metrics={
+            "simulated": float(telemetry.simulated),
+            "cache_hits": float(telemetry.cache_hits),
+            "timeouts": float(telemetry.timeouts),
+            "pool_rebuilds": float(telemetry.pool_rebuilds),
+            "store_corrupt": float(telemetry.store_corrupt),
+        },
+    )
+    Ledger().append(record)
 
 
 def _arm_tracing(args) -> None:
@@ -168,6 +225,18 @@ def main(argv=None) -> int:
                              "or $REPRO_CACHE_DIR)")
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the on-disk result store")
+    parser.add_argument("--retries", type=int, default=0,
+                        help="re-attempts per failing simulation "
+                             "(default 0; retries are deterministic "
+                             "re-executions, results stay bit-identical)")
+    parser.add_argument("--timeout", type=float, default=None, metavar="SEC",
+                        help="per-simulation wall-clock budget; hung "
+                             "workers are killed and the spec retried "
+                             "(pool runs only, i.e. --jobs > 1)")
+    parser.add_argument("--strict", action="store_true",
+                        help="abort on the first simulation that fails "
+                             "every attempt, instead of degrading to an "
+                             "annotated hole in the exhibit")
     parser.add_argument("--trace", metavar="OUT.json", default=None,
                         help="record a Chrome trace_event timeline of the "
                              "run to OUT.json (forces --jobs 1 --no-cache)")
@@ -185,18 +254,27 @@ def main(argv=None) -> int:
                 parser.error("'run' needs a benchmark (and optional mechanism)")
             status = _cmd_run(args, executor)
             _print_summary(executor)
+            _append_ledger_entry(args.command, executor)
             return status
         if args.command == "all":
             for name in EXHIBITS:
                 _run_exhibit(name, args, executor)
                 print()
             _print_summary(executor)
+            _append_ledger_entry(args.command, executor)
             return 0
         if args.command in EXHIBITS:
             status = _run_exhibit(args.command, args, executor)
             if args.command not in STATIC:
                 _print_summary(executor)
+                _append_ledger_entry(args.command, executor)
             return status
+    except SpecExhausted as exc:
+        # --strict: fail fast, but still say which cell and how hard the
+        # executor fought before giving up.
+        print(f"FAILED (strict): {exc.failure.summary()}", file=sys.stderr)
+        _print_summary(executor)
+        return 1
     finally:
         if args.trace:
             _export_trace(args)

@@ -17,6 +17,8 @@ The rule families (catalogue in ``docs/analysis.md``):
 * **SIM4xx** port/stat wiring (whole tree).
 * **SIM5xx** observability wiring (whole tree) — orphan stats, dynamic
   span names.
+* **SIM6xx** robustness discipline (sim path + ``repro.exec``) —
+  swallowed exceptions that should propagate or become ``FailedRun``s.
 
 The same invariants have a *runtime* twin: setting ``REPRO_SANITIZE=1``
 arms cheap assertions in the kernel and the cache hierarchy (see
@@ -32,6 +34,7 @@ from repro.analysis import (  # noqa: F401
     determinism,
     obsrules,
     purity,
+    robustness,
     wiring,
 )
 from repro.analysis.core import (

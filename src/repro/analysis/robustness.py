@@ -1,0 +1,109 @@
+"""SIM6xx — robustness discipline.
+
+The fault-tolerance layer (:mod:`repro.exec.policy`) gives failures one
+sanctioned shape: an attempt either propagates its exception (so the
+retry machinery can count, back off and re-run it) or is deliberately
+converted into a :class:`~repro.exec.policy.FailedRun` hole that stays
+visible in grids, tables and the ledger.  What it must never do is
+evaporate — a ``try/except`` that catches broadly and carries on turns a
+mis-simulated cell into a silently wrong number, which is precisely the
+methodological rot the paper warns about.
+
+* SIM601 ``swallowed-exception`` — an ``except`` handler in a sim-path
+  package that catches ``Exception``/``BaseException`` (or everything,
+  via a bare ``except:``) without re-raising or referencing
+  ``FailedRun``, or any handler whose whole body is ``pass``.
+  Legitimate sites (best-effort cleanup that re-raises elsewhere,
+  benign races on garbage deletion) carry an
+  ``# simlint: allow[SIM601] <reason>`` justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Sequence
+
+from repro.analysis.contract import _rule
+from repro.analysis.core import (
+    SIM_PATH_PACKAGES,
+    SourceModule,
+    Violation,
+    make_violation,
+    rule,
+)
+
+#: The sim path plus the execution layer that shepherds its failures.
+_PACKAGES = SIM_PATH_PACKAGES + ("exec",)
+
+#: Exception names considered catch-everything.
+_BROAD_NAMES = frozenset({"Exception", "BaseException"})
+
+
+def _caught_names(handler: ast.ExceptHandler) -> List[str]:
+    """The exception names a handler catches ([] for a bare ``except:``)."""
+    node = handler.type
+    if node is None:
+        return []
+    nodes = node.elts if isinstance(node, ast.Tuple) else [node]
+    names = []
+    for item in nodes:
+        if isinstance(item, ast.Name):
+            names.append(item.id)
+        elif isinstance(item, ast.Attribute):
+            names.append(item.attr)
+    return names
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True  # bare except catches everything
+    return any(name in _BROAD_NAMES for name in _caught_names(handler))
+
+
+def _handler_converts(handler: ast.ExceptHandler) -> bool:
+    """Whether the handler re-raises or converts to a FailedRun."""
+    for node in handler.body:
+        for inner in ast.walk(node):
+            if isinstance(inner, ast.Raise):
+                return True
+            if isinstance(inner, ast.Name) and inner.id == "FailedRun":
+                return True
+            if isinstance(inner, ast.Attribute) and inner.attr == "FailedRun":
+                return True
+    return False
+
+
+def _is_pass_only(handler: ast.ExceptHandler) -> bool:
+    return all(isinstance(node, ast.Pass) for node in handler.body)
+
+
+@rule("SIM601", "swallowed-exception", _PACKAGES,
+      "sim-path code must not swallow exceptions: re-raise, convert to "
+      "a FailedRun, or justify with an allow comment")
+def check_swallowed_exception(
+    module: SourceModule, modules: Sequence[SourceModule]
+) -> List[Violation]:
+    found = []
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Try):
+            continue
+        for handler in node.handlers:
+            if _is_pass_only(handler):
+                caught = ", ".join(_caught_names(handler)) or "everything"
+                found.append(make_violation(
+                    _rule("SIM601"), module, handler,
+                    f"except ({caught}) with a pass-only body silently "
+                    "discards the failure; handle it, re-raise, or "
+                    "justify the suppression with an allow comment",
+                ))
+                continue
+            if _is_broad(handler) and not _handler_converts(handler):
+                caught = ", ".join(_caught_names(handler)) or "bare except"
+                found.append(make_violation(
+                    _rule("SIM601"), module, handler,
+                    f"broad handler ({caught}) neither re-raises nor "
+                    "converts to a FailedRun; a swallowed failure here "
+                    "becomes a silently wrong result — let it propagate "
+                    "so the retry policy can account for it",
+                ))
+    return found

@@ -4,10 +4,13 @@ from __future__ import annotations
 
 import json
 from dataclasses import asdict
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.simulation import RunResult
 from repro.mechanisms.registry import BASELINE
+
+if TYPE_CHECKING:  # deferred at runtime: repro.exec imports this module
+    from repro.exec.policy import FailedRun
 
 
 class ResultSet:
@@ -16,10 +19,21 @@ class ResultSet:
     The baseline must be present for speedup queries.  Iteration orders
     follow insertion order of :meth:`add`, so sweeps built in paper order
     render in paper order.
+
+    A grid may carry **holes**: cells whose spec exhausted every attempt
+    under a lenient retry policy arrive as
+    :class:`~repro.exec.policy.FailedRun` records via
+    :meth:`add_failure`.  Holes are not results — :meth:`get` still
+    raises for them (with the failure attached to the message) — but
+    they are enumerable (:attr:`failures`, :meth:`failure_for`) so
+    tables and reports can render the missing cells explicitly, and
+    :meth:`dense` yields the largest hole-free sub-grid for analytics
+    that need complete rows.
     """
 
     def __init__(self) -> None:
         self._results: Dict[Tuple[str, str], RunResult] = {}
+        self._failures: Dict[Tuple[str, str], "FailedRun"] = {}
         self._mechanisms: List[str] = []
         self._benchmarks: List[str] = []
 
@@ -29,11 +43,30 @@ class ResultSet:
         key = (result.mechanism, result.benchmark)
         if key in self._results:
             raise ValueError(f"duplicate result for {key}")
+        if key in self._failures:
+            raise ValueError(f"cell {key} already recorded as failed")
         self._results[key] = result
-        if result.mechanism not in self._mechanisms:
-            self._mechanisms.append(result.mechanism)
-        if result.benchmark not in self._benchmarks:
-            self._benchmarks.append(result.benchmark)
+        self._note_axes(result.mechanism, result.benchmark)
+
+    def add_failure(self, failure: "FailedRun") -> None:
+        """Record a cell whose spec failed every attempt.
+
+        The cell keeps its place on both axes so renderers can show the
+        hole where the number should have been.
+        """
+        key = (failure.mechanism, failure.benchmark)
+        if key in self._results:
+            raise ValueError(f"cell {key} already has a result")
+        if key in self._failures:
+            raise ValueError(f"duplicate failure for {key}")
+        self._failures[key] = failure
+        self._note_axes(failure.mechanism, failure.benchmark)
+
+    def _note_axes(self, mechanism: str, benchmark: str) -> None:
+        if mechanism not in self._mechanisms:
+            self._mechanisms.append(mechanism)
+        if benchmark not in self._benchmarks:
+            self._benchmarks.append(benchmark)
 
     # -- access --------------------------------------------------------------------
 
@@ -49,6 +82,12 @@ class ResultSet:
         try:
             return self._results[(mechanism, benchmark)]
         except KeyError:
+            failure = self._failures.get((mechanism, benchmark))
+            if failure is not None:
+                raise KeyError(
+                    f"no result for ({mechanism}, {benchmark}): "
+                    f"{failure.summary()}"
+                ) from None
             raise KeyError(f"no result for ({mechanism}, {benchmark})") from None
 
     def __contains__(self, key: Tuple[str, str]) -> bool:
@@ -56,6 +95,37 @@ class ResultSet:
 
     def __len__(self) -> int:
         return len(self._results)
+
+    # -- failure accounting ---------------------------------------------------------
+
+    @property
+    def failures(self) -> List["FailedRun"]:
+        """Every hole in the grid, in insertion order."""
+        return list(self._failures.values())
+
+    @property
+    def complete(self) -> bool:
+        """True when the grid has no failed cells."""
+        return not self._failures
+
+    def failure_for(self, mechanism: str, benchmark: str) -> Optional["FailedRun"]:
+        """The failure occupying a cell, or None if it holds a result."""
+        return self._failures.get((mechanism, benchmark))
+
+    def incomplete_benchmarks(self) -> List[str]:
+        """Benchmarks with at least one failed cell, in axis order."""
+        holed = {benchmark for (_m, benchmark) in self._failures}
+        return [b for b in self._benchmarks if b in holed]
+
+    def dense(self) -> "ResultSet":
+        """The largest hole-free sub-grid: benchmarks with no failed cell.
+
+        Analytics that aggregate across a whole benchmark column (mean
+        speedups, rankings, sensitivity sweeps) use this so one failed
+        cell degrades one benchmark, not the whole analysis.
+        """
+        holed = {benchmark for (_m, benchmark) in self._failures}
+        return self.subset(b for b in self._benchmarks if b not in holed)
 
     def ipc(self, mechanism: str, benchmark: str) -> float:
         return self.get(mechanism, benchmark).ipc
@@ -86,7 +156,10 @@ class ResultSet:
             row = asdict(result)
             row.pop("stats", None)  # detailed stats stay in memory only
             payload.append(row)
-        return json.dumps({"results": payload}, indent=2)
+        doc: Dict[str, object] = {"results": payload}
+        if self._failures:
+            doc["failures"] = [f.describe() for f in self._failures.values()]
+        return json.dumps(doc, indent=2)
 
     @classmethod
     def from_json(cls, text: str) -> "ResultSet":
@@ -94,15 +167,24 @@ class ResultSet:
         result_set = cls()
         for row in data["results"]:
             result_set.add(RunResult(**row))
+        if data.get("failures"):
+            # Imported here: repro.exec imports this module at package init.
+            from repro.exec.policy import FailedRun
+
+            for row in data["failures"]:
+                result_set.add_failure(FailedRun.from_dict(row))
         return result_set
 
     # -- bulk helpers ----------------------------------------------------------------
 
     def subset(self, benchmarks: Iterable[str]) -> "ResultSet":
-        """A new ResultSet restricted to ``benchmarks``."""
+        """A new ResultSet restricted to ``benchmarks`` (holes included)."""
         wanted = set(benchmarks)
         out = ResultSet()
         for (mechanism, benchmark), result in self._results.items():
             if benchmark in wanted:
                 out.add(result)
+        for (mechanism, benchmark), failure in self._failures.items():
+            if benchmark in wanted:
+                out.add_failure(failure)
         return out

@@ -11,6 +11,13 @@ The module-level default starts life serial (``jobs=1``) and memory-only
 — importing the library never spawns processes or writes to disk.  The
 CLI upgrades it (``--jobs``, ``--cache-dir``) via
 :func:`set_default_executor`.
+
+Fault tolerance: a :class:`~repro.exec.policy.RetryPolicy` governs
+retries, per-attempt timeouts and strict-vs-degraded failure handling;
+exhausted specs surface as :class:`~repro.exec.policy.FailedRun` holes
+(or :class:`~repro.exec.policy.SpecExhausted` in strict mode).  Every
+recovery path is exercisable deterministically via ``REPRO_FAULTS``
+(:mod:`repro.exec.faults`).
 """
 
 from __future__ import annotations
@@ -18,19 +25,41 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.exec.executor import Executor
+from repro.exec.faults import (
+    FaultPlan,
+    active_plan,
+    parse_fault_spec,
+    set_active_plan,
+)
+from repro.exec.policy import (
+    ExecutionError,
+    FailedRun,
+    RetryPolicy,
+    SpecExhausted,
+    SpecTimeout,
+)
 from repro.exec.runspec import RunSpec
 from repro.exec.store import ResultStore, default_cache_dir
 from repro.exec.telemetry import RunRecord, Telemetry
 
 __all__ = [
+    "ExecutionError",
     "Executor",
+    "FailedRun",
+    "FaultPlan",
     "ResultStore",
+    "RetryPolicy",
     "RunRecord",
     "RunSpec",
+    "SpecExhausted",
+    "SpecTimeout",
     "Telemetry",
+    "active_plan",
     "default_cache_dir",
     "get_default_executor",
+    "parse_fault_spec",
     "reset_default_executor",
+    "set_active_plan",
     "set_default_executor",
 ]
 

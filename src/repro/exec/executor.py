@@ -12,21 +12,73 @@ Duplicate specs within a batch are simulated once and every caller
 position gets the same result object.  Freshly simulated results are
 written back to the store, so the next process — or the next exhibit in
 the same ``python -m repro all`` — never pays for the same cell twice.
+
+Fault tolerance
+---------------
+Long fan-outs must survive partial failure: one worker exception, hang
+or pool death must not destroy a multi-hour sweep.  Execution is
+therefore governed by a :class:`~repro.exec.policy.RetryPolicy`:
+
+* failing attempts are retried up to ``retries`` times with a
+  deterministic exponential backoff (seeded jitter, no ``random``);
+* a watchdog enforces the per-attempt ``timeout`` on pool runs — hung
+  workers are killed, their specs requeued and charged an attempt;
+* a broken pool (a worker died mid-task) is rebuilt and its in-flight
+  specs resubmitted without charge; after ``max_pool_rebuilds``
+  consecutive deaths the executor degrades to in-process execution;
+* a spec that exhausts every attempt becomes a
+  :class:`~repro.exec.policy.FailedRun` hole in the batch (``strict``
+  mode raises :class:`~repro.exec.policy.SpecExhausted` instead), so
+  ``run``/``run_sweep`` return complete grids with annotated holes.
+
+Every recovery path is exercisable on a deterministic schedule via
+``REPRO_FAULTS`` (see :mod:`repro.exec.faults`).
 """
 
 from __future__ import annotations
 
+import sys
 import os
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from collections import deque
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    Future,
+    ProcessPoolExecutor,
+    wait,
+)
+from concurrent.futures.process import BrokenProcessPool
+from typing import (
+    Callable,
+    Deque,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.core.config import MachineConfig, baseline_config
 from repro.core.results import ResultSet
 from repro.core.simulation import DEFAULT_INSTRUCTIONS, RunResult
+from repro.exec.faults import (
+    FaultPlan,
+    InjectedHang,
+    active_plan,
+    inject_attempt_faults,
+    maybe_corrupt_store_entry,
+)
+from repro.exec.policy import (
+    FailedRun,
+    RetryPolicy,
+    SpecExhausted,
+    SpecTimeout,
+)
 from repro.exec.runspec import RunSpec
 from repro.exec.store import ResultStore
 from repro.exec.telemetry import (
+    SOURCE_FAILED,
     SOURCE_MEMO,
     SOURCE_SIMULATED,
     SOURCE_STORE,
@@ -40,9 +92,28 @@ from repro.workloads.registry import ALL_BENCHMARKS
 #: progress(completed_simulations, total_simulations, spec_just_finished)
 ProgressFn = Callable[[int, int, RunSpec], None]
 
+#: One resolved batch entry: a result, or the hole a failed spec left.
+Resolved = Union[RunResult, FailedRun]
 
-def _execute_timed(spec: RunSpec) -> Tuple[str, RunResult, float]:
-    """Worker entry point: run one spec, report its wall time."""
+#: What the worker entry point returns per attempt.
+_WorkerReturn = Tuple[str, RunResult, float]
+
+#: (spec, attempt number) waiting to run.
+_QueueItem = Tuple[RunSpec, int]
+
+
+def _execute_timed(
+    spec: RunSpec,
+    attempt: int = 1,
+    plan: Optional[FaultPlan] = None,
+    in_process: bool = True,
+) -> _WorkerReturn:
+    """Worker entry point: run one spec attempt, report its wall time.
+
+    Fault injection (when ``plan`` is armed) happens *before* the traced
+    region so a crashing attempt never leaves an unbalanced span.
+    """
+    inject_attempt_faults(plan, spec.content_hash, attempt, in_process)
     tracing = TRACER.enabled
     if tracing:
         TRACER.begin("exec.simulate", cat="exec",
@@ -55,12 +126,38 @@ def _execute_timed(spec: RunSpec) -> Tuple[str, RunResult, float]:
     return spec.content_hash, result, seconds
 
 
+def _terminate_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear a pool down *now*: kill workers, cancel queued work, no wait.
+
+    ``shutdown(wait=True)`` — what the ``with`` statement does — blocks
+    until every in-flight future completes, which for a hung worker is
+    forever.  Worker handles only exist on the private ``_processes``
+    map, so the access is guarded against interpreter variation.
+    """
+    processes = getattr(pool, "_processes", None)
+    if processes:
+        for proc in list(processes.values()):
+            try:
+                proc.terminate()
+            # simlint: allow[SIM601] the worker already died; nothing to kill
+            except (OSError, ValueError):
+                pass
+    pool.shutdown(wait=False, cancel_futures=True)
+
+
 class Executor:
-    """Run batches of :class:`RunSpec`, deduplicated and cached.
+    """Run batches of :class:`RunSpec`, deduplicated, cached and retried.
 
     ``jobs=1`` executes in-process (no pool, bit-for-bit reproducible
     stepping under a debugger); ``jobs>1`` uses a process pool of that
     many workers.  ``jobs=None`` defaults to ``os.cpu_count()``.
+
+    ``policy`` defaults to the fail-fast library behaviour (no retries,
+    no timeout, strict); the CLI's ``--retries/--timeout/--strict``
+    flags build a lenient one.  ``faults`` defaults to the process-wide
+    ``REPRO_FAULTS`` plan and exists as a parameter so chaos tests can
+    inject deterministic failure schedules without touching the
+    environment.
     """
 
     def __init__(
@@ -69,18 +166,31 @@ class Executor:
         store: Optional[ResultStore] = None,
         telemetry: Optional[Telemetry] = None,
         progress: Optional[ProgressFn] = None,
+        policy: Optional[RetryPolicy] = None,
+        faults: Optional[FaultPlan] = None,
     ) -> None:
         self.jobs = max(1, jobs if jobs is not None else (os.cpu_count() or 1))
         self.store = store
         self.telemetry = telemetry if telemetry is not None else Telemetry()
         self.progress = progress
-        self._memo: Dict[str, RunResult] = {}
+        self.policy = policy if policy is not None else RetryPolicy()
+        self.faults = faults if faults is not None else active_plan()
+        self._memo: Dict[str, Resolved] = {}
         self._sweep_memo: Dict[Tuple[str, ...], ResultSet] = {}
+        #: monotonic() at each spec's first attempt (for FailedRun.elapsed).
+        self._first_attempt_at: Dict[str, float] = {}
+        self._store_corrupt_base = store.corrupt_reads if store else 0
 
     # -- batch execution ------------------------------------------------------
 
-    def run(self, specs: Sequence[RunSpec]) -> List[RunResult]:
-        """Resolve every spec; results align with ``specs`` by position."""
+    def run(self, specs: Sequence[RunSpec]) -> List[Resolved]:
+        """Resolve every spec; results align with ``specs`` by position.
+
+        Under the default strict policy a failing spec raises (after any
+        configured retries).  Under a lenient policy (``strict=False``)
+        an exhausted spec resolves to a :class:`FailedRun` in its batch
+        position, and the rest of the batch completes normally.
+        """
         tracing = TRACER.enabled
         if tracing:
             TRACER.begin("exec.batch", cat="exec", specs=len(specs))
@@ -104,6 +214,10 @@ class Executor:
                 self._record(spec, SOURCE_STORE)
                 continue
             to_simulate.append(spec)
+        if self.store is not None:
+            self.telemetry.store_corrupt = (
+                self.store.corrupt_reads - self._store_corrupt_base
+            )
 
         if to_simulate:
             self._simulate(to_simulate)
@@ -117,22 +231,254 @@ class Executor:
 
     def _simulate(self, specs: List[RunSpec]) -> None:
         total = len(specs)
+        now = time.monotonic()
+        for spec in specs:
+            self._first_attempt_at.setdefault(spec.content_hash, now)
+        queue: Deque[_QueueItem] = deque((spec, 1) for spec in specs)
         if self.jobs == 1 or total == 1:
-            for done, spec in enumerate(specs, 1):
-                key, result, seconds = _execute_timed(spec)
-                self._absorb(spec, key, result, seconds, done, total)
-            return
-        workers = min(self.jobs, total)
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            pending = {pool.submit(_execute_timed, spec): spec for spec in specs}
-            done = 0
-            while pending:
-                finished, _ = wait(pending, return_when=FIRST_COMPLETED)
-                for future in finished:
-                    spec = pending.pop(future)
-                    key, result, seconds = future.result()
+            self._simulate_serial(queue, total, 0)
+        else:
+            self._simulate_pool(queue, total)
+
+    # -- in-process execution -------------------------------------------------
+
+    def _simulate_serial(
+        self, queue: Deque[_QueueItem], total: int, done: int
+    ) -> int:
+        """Drain ``queue`` in-process; returns the completed count.
+
+        The per-attempt timeout cannot preempt in-process execution, so
+        only injected hangs surface as timeouts here; everything else of
+        the policy (retries, backoff, strict/lenient) applies as in the
+        pool path.
+        """
+        while queue:
+            spec, attempt = queue.popleft()
+            try:
+                key, result, seconds = _execute_timed(
+                    spec, attempt, self.faults, in_process=True
+                )
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            # simlint: allow[SIM601] retried or converted to a FailedRun by _attempt_failed
+            except BaseException as exc:
+                retry = self._attempt_failed(spec, attempt, exc)
+                if retry is None:
                     done += 1
-                    self._absorb(spec, key, result, seconds, done, total)
+                    self._note_progress(done, total, spec)
+                else:
+                    if retry > 0:
+                        time.sleep(retry)
+                    queue.append((spec, attempt + 1))
+                continue
+            done += 1
+            self._absorb(spec, key, result, seconds, done, total)
+        return done
+
+    # -- pool execution -------------------------------------------------------
+
+    def _simulate_pool(self, queue: Deque[_QueueItem], total: int) -> None:
+        """Drain ``queue`` over a process pool with watchdog and recovery.
+
+        At most ``workers`` submissions are in flight at a time, so a
+        submitted attempt starts (nearly) immediately and its deadline
+        is measured from submission.  Retries waiting out their backoff
+        sit in ``delayed`` and are promoted when due.  Any pool death —
+        spontaneous (``BrokenProcessPool``) or deliberate (the watchdog
+        killing hung workers) — requeues in-flight specs and rebuilds
+        the pool; repeated consecutive deaths degrade to in-process
+        execution so the batch always finishes.
+        """
+        workers = min(self.jobs, total)
+        pool = ProcessPoolExecutor(max_workers=workers)
+        pending: Dict["Future[_WorkerReturn]",
+                      Tuple[RunSpec, int, Optional[float]]] = {}
+        delayed: List[Tuple[float, RunSpec, int]] = []
+        done = 0
+        rebuilds = 0  # consecutive pool deaths without a completed attempt
+        try:
+            while queue or pending or delayed:
+                now = time.monotonic()
+                if delayed:
+                    due = [item for item in delayed if item[0] <= now]
+                    if due:
+                        delayed = [i for i in delayed if i[0] > now]
+                        for _, spec, attempt in due:
+                            queue.append((spec, attempt))
+                broken = False
+                while queue and len(pending) < workers:
+                    spec, attempt = queue.popleft()
+                    deadline = (now + self.policy.timeout
+                                if self.policy.timeout is not None else None)
+                    try:
+                        future = pool.submit(
+                            _execute_timed, spec, attempt, self.faults, False
+                        )
+                    except BrokenProcessPool:
+                        queue.appendleft((spec, attempt))
+                        broken = True
+                        break
+                    pending[future] = (spec, attempt, deadline)
+                if pending and not broken:
+                    finished, _ = wait(
+                        set(pending), timeout=self._wait_timeout(pending, delayed),
+                        return_when=FIRST_COMPLETED,
+                    )
+                    for future in finished:
+                        spec, attempt, _deadline = pending.pop(future)
+                        try:
+                            key, result, seconds = future.result()
+                        except BrokenProcessPool:
+                            # In flight when the pool died: requeue, no charge.
+                            queue.appendleft((spec, attempt))
+                            broken = True
+                            continue
+                        except (KeyboardInterrupt, SystemExit):
+                            raise
+                        # simlint: allow[SIM601] retried or converted to a FailedRun by _attempt_failed
+                        except BaseException as exc:
+                            rebuilds = 0
+                            done = self._resolve_failure(
+                                spec, attempt, exc, delayed, done, total
+                            )
+                            continue
+                        done += 1
+                        rebuilds = 0
+                        self._absorb(spec, key, result, seconds, done, total)
+                    # Watchdog: charge and requeue attempts past deadline,
+                    # then kill the pool — a hung worker cannot be cancelled.
+                    now = time.monotonic()
+                    expired = [f for f, (_s, _a, dl) in pending.items()
+                               if dl is not None and dl <= now]
+                    for future in expired:
+                        spec, attempt, _deadline = pending.pop(future)
+                        timeout = self.policy.timeout or 0.0
+                        exc: BaseException = SpecTimeout(
+                            f"{spec.benchmark}/{spec.mechanism} attempt "
+                            f"{attempt} exceeded {timeout:g}s"
+                        )
+                        done = self._resolve_failure(
+                            spec, attempt, exc, delayed, done, total,
+                            timed_out=True,
+                        )
+                    if expired:
+                        broken = True
+                elif not pending and not queue and delayed:
+                    # Only backoff sleepers remain; wait for the earliest.
+                    earliest = min(item[0] for item in delayed)
+                    pause = earliest - time.monotonic()
+                    if pause > 0:
+                        time.sleep(pause)
+                if broken:
+                    for spec, attempt, _deadline in pending.values():
+                        queue.appendleft((spec, attempt))
+                    pending.clear()
+                    _terminate_pool(pool)
+                    self.telemetry.pool_rebuilds += 1
+                    rebuilds += 1
+                    if rebuilds > self.policy.max_pool_rebuilds:
+                        print(
+                            f"executor: pool died {rebuilds} times in a row; "
+                            f"finishing {len(queue) + len(delayed)} spec(s) "
+                            "in-process",
+                            file=sys.stderr,
+                        )
+                        for _ready_at, spec, attempt in delayed:
+                            queue.append((spec, attempt))
+                        delayed.clear()
+                        self._simulate_serial(queue, total, done)
+                        return
+                    pool = ProcessPoolExecutor(max_workers=workers)
+        except BaseException:
+            # Fatal exit (strict-mode exhaustion, ^C, a bug): cancel
+            # queued work and kill workers rather than stranding a pool
+            # whose implicit shutdown would block on in-flight futures.
+            _terminate_pool(pool)
+            raise
+        pool.shutdown(wait=True)
+
+    def _wait_timeout(
+        self,
+        pending: Dict["Future[_WorkerReturn]",
+                      Tuple[RunSpec, int, Optional[float]]],
+        delayed: List[Tuple[float, RunSpec, int]],
+    ) -> Optional[float]:
+        """How long ``wait`` may block before the watchdog must look.
+
+        None (block until a future completes) when there are no
+        deadlines to enforce and no backoff retries to promote.
+        """
+        times = [deadline for (_s, _a, deadline) in pending.values()
+                 if deadline is not None]
+        times.extend(ready_at for ready_at, _s, _a in delayed)
+        if not times:
+            return None
+        return max(0.01, min(times) - time.monotonic())
+
+    # -- attempt accounting ---------------------------------------------------
+
+    def _resolve_failure(
+        self,
+        spec: RunSpec,
+        attempt: int,
+        exc: BaseException,
+        delayed: List[Tuple[float, RunSpec, int]],
+        done: int,
+        total: int,
+        timed_out: bool = False,
+    ) -> int:
+        """Pool-side bookkeeping for one failed attempt; returns ``done``."""
+        retry = self._attempt_failed(spec, attempt, exc, timed_out=timed_out)
+        if retry is None:
+            done += 1
+            self._note_progress(done, total, spec)
+        else:
+            delayed.append((time.monotonic() + retry, spec, attempt + 1))
+        return done
+
+    def _attempt_failed(
+        self,
+        spec: RunSpec,
+        attempt: int,
+        exc: BaseException,
+        timed_out: bool = False,
+    ) -> Optional[float]:
+        """Account for one failed attempt.
+
+        Returns the backoff delay in seconds when the spec should be
+        retried.  Returns None when the spec is exhausted — in strict
+        mode by raising :class:`SpecExhausted`, otherwise by recording a
+        :class:`FailedRun` hole in the memo.
+        """
+        key = spec.content_hash
+        timeout_like = timed_out or isinstance(exc, InjectedHang)
+        if timeout_like:
+            self.telemetry.timeouts += 1
+        if attempt < self.policy.max_attempts:
+            self.telemetry.retries += 1
+            return self.policy.backoff_delay(key, attempt)
+        started = self._first_attempt_at.pop(key, None)
+        elapsed = time.monotonic() - started if started is not None else 0.0
+        failure = FailedRun(
+            spec_hash=key,
+            benchmark=spec.benchmark,
+            mechanism=spec.mechanism,
+            attempts=attempt,
+            error=repr(exc),
+            elapsed=round(elapsed, 6),
+            kind="timeout" if timeout_like else "error",
+        )
+        self.telemetry.failures += 1
+        if self.policy.strict:
+            raise SpecExhausted(failure) from exc
+        print(f"executor: giving up: {failure.summary()}", file=sys.stderr)
+        self._memo[key] = failure
+        self._record(spec, SOURCE_FAILED, failure.elapsed)
+        return None
+
+    def _note_progress(self, done: int, total: int, spec: RunSpec) -> None:
+        if self.progress is not None:
+            self.progress(done, total, spec)
 
     def _absorb(
         self,
@@ -144,11 +490,14 @@ class Executor:
         total: int,
     ) -> None:
         self._memo[key] = result
+        self._first_attempt_at.pop(key, None)
         if self.store is not None:
-            self.store.put(spec, result)
+            path = self.store.put(spec, result)
+            # Chaos mode: a "torn write" lands now, is discovered (and
+            # counted) by whoever reads the entry next.
+            maybe_corrupt_store_entry(self.faults, path, key, 1)
         self._record(spec, SOURCE_SIMULATED, seconds)
-        if self.progress is not None:
-            self.progress(done, total, spec)
+        self._note_progress(done, total, spec)
 
     def _record(self, spec: RunSpec, source: str, seconds: float = 0.0) -> None:
         if TRACER.enabled:
@@ -177,7 +526,10 @@ class Executor:
 
         The baseline is always included (speedup queries need it).  The
         assembled ResultSet is memoised by the tuple of spec hashes, so
-        exhibits sharing a grid share the object too.
+        exhibits sharing a grid share the object too.  Under a lenient
+        policy, exhausted specs land in the grid as annotated
+        :class:`FailedRun` holes (see :meth:`ResultSet.add_failure`)
+        rather than aborting the sweep.
         """
         mechanisms = list(mechanisms)
         if BASELINE not in mechanisms:
@@ -204,6 +556,9 @@ class Executor:
         results = self.run(specs)
         grid = ResultSet()
         for result in results:
-            grid.add(result)
+            if isinstance(result, FailedRun):
+                grid.add_failure(result)
+            else:
+                grid.add(result)
         self._sweep_memo[key] = grid
         return grid

@@ -1,0 +1,238 @@
+"""Deterministic fault injection: ``REPRO_FAULTS=crash:0.1,hang:0.05,seed=7``.
+
+The executor's recovery machinery — retries, the watchdog, pool rebuild,
+graceful degradation — is exactly the kind of code that silently rots
+because its paths never run.  This module makes every path exercisable
+on demand: a :class:`FaultPlan` carries a per-kind injection rate and a
+seed, and each worker attempt consults a *deterministic* schedule (a
+SHA-256 of seed, kind, spec hash and attempt number) to decide whether
+to misbehave.  The same plan therefore produces the same faults on any
+machine, in any process, on every rerun — chaos tests assert exact
+counters, and a faulted sweep that eventually succeeds is bit-identical
+to a clean one because retries are plain re-executions of pure specs.
+
+Fault kinds (grammar: comma-separated ``kind:rate`` pairs plus ``seed=N``):
+
+* ``crash`` — the attempt raises :class:`InjectedCrash` before
+  simulating; exercises the per-spec retry path.
+* ``hang`` — the attempt sleeps far past any sane deadline (pool
+  workers) or raises :class:`InjectedHang` (in-process execution, which
+  cannot be preempted); exercises the watchdog / timeout path.
+* ``die`` — the worker process exits with ``os._exit`` mid-task,
+  breaking the whole pool; exercises ``BrokenProcessPool`` recovery.
+  In-process it degrades to a crash (killing the caller would take the
+  test down with it).
+* ``corrupt-store`` — the freshly written result-store entry is
+  truncated after the fact, as a torn write would leave it; exercises
+  the corrupt-entry accounting and re-simulation path.
+
+Like :mod:`repro.sanitize`, the environment variable is read **once, at
+import**: worker processes inherit the environment (and, under the
+default ``fork`` start method, this module's parsed state) before they
+execute anything, so parent and workers always agree on the schedule.
+Tests that need a plan without touching the environment pass one
+directly to the :class:`~repro.exec.executor.Executor` or install it
+with :func:`set_active_plan`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+#: Environment variable carrying the fault spec.
+FAULTS_ENV = "REPRO_FAULTS"
+
+#: Recognised fault kinds, in the order they are checked per attempt.
+FAULT_KINDS = ("die", "hang", "crash", "corrupt-store")
+
+
+class InjectedCrash(RuntimeError):
+    """A fault-injection crash: the attempt failed before simulating."""
+
+
+class InjectedHang(RuntimeError):
+    """An injected hang surfaced in-process (where sleeping cannot be
+    preempted, the hang is reported as a timeout instead)."""
+
+
+def stable_fraction(key: str) -> float:
+    """A deterministic value in ``[0, 1)`` derived from ``key``.
+
+    SHA-256 rather than ``random``: the schedule must not depend on
+    process-global RNG state, ``PYTHONHASHSEED`` or the wall clock, and
+    must agree between the parent and every worker process.
+    """
+    digest = hashlib.sha256(key.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") / 2.0 ** 64
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Injection rates for each fault kind plus the schedule seed."""
+
+    crash: float = 0.0
+    hang: float = 0.0
+    die: float = 0.0
+    corrupt_store: float = 0.0
+    seed: int = 0
+    #: How long an injected hang sleeps in a pool worker; far beyond any
+    #: reasonable ``--timeout`` so the watchdog always wins.
+    hang_seconds: float = 3600.0
+
+    @property
+    def armed(self) -> bool:
+        return (self.crash > 0 or self.hang > 0 or self.die > 0
+                or self.corrupt_store > 0)
+
+    def _rate(self, kind: str) -> float:
+        return {
+            "crash": self.crash,
+            "hang": self.hang,
+            "die": self.die,
+            "corrupt-store": self.corrupt_store,
+        }[kind]
+
+    def decide(self, kind: str, spec_hash: str, attempt: int) -> bool:
+        """Whether fault ``kind`` fires for this spec attempt.
+
+        Purely a function of (seed, kind, spec hash, attempt): the same
+        plan makes the same decision everywhere, forever.
+        """
+        rate = self._rate(kind)
+        if rate <= 0.0:
+            return False
+        return stable_fraction(
+            f"{self.seed}:{kind}:{spec_hash}:{attempt}"
+        ) < rate
+
+    def describe(self) -> str:
+        parts = [f"{kind}:{self._rate(kind):g}"
+                 for kind in FAULT_KINDS if self._rate(kind) > 0]
+        parts.append(f"seed={self.seed}")
+        return ",".join(parts)
+
+
+def parse_fault_spec(text: str) -> Optional[FaultPlan]:
+    """Parse the ``REPRO_FAULTS`` grammar into a plan (None when empty).
+
+    Grammar: comma-separated ``kind:rate`` pairs (rates in ``[0, 1]``)
+    with an optional ``seed=N``.  Unknown kinds, malformed rates and
+    out-of-range rates raise ``ValueError`` — a silently ignored fault
+    spec would defeat the whole point of a chaos run.
+    """
+    text = text.strip()
+    if not text:
+        return None
+    rates = {kind: 0.0 for kind in FAULT_KINDS}
+    seed = 0
+    for token in text.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        if token.startswith("seed="):
+            try:
+                seed = int(token[len("seed="):])
+            except ValueError:
+                raise ValueError(f"bad fault seed in {token!r}") from None
+            continue
+        kind, sep, rate_text = token.partition(":")
+        if not sep:
+            raise ValueError(
+                f"bad fault token {token!r}; expected kind:rate or seed=N"
+            )
+        kind = kind.strip()
+        if kind not in rates:
+            raise ValueError(
+                f"unknown fault kind {kind!r}; known: {', '.join(FAULT_KINDS)}"
+            )
+        try:
+            rate = float(rate_text)
+        except ValueError:
+            raise ValueError(f"bad fault rate in {token!r}") from None
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"fault rate out of [0, 1] in {token!r}")
+        rates[kind] = rate
+    return FaultPlan(
+        crash=rates["crash"],
+        hang=rates["hang"],
+        die=rates["die"],
+        corrupt_store=rates["corrupt-store"],
+        seed=seed,
+    )
+
+
+#: The process-wide plan, parsed once at import (None when unset).
+_ACTIVE: Optional[FaultPlan] = parse_fault_spec(
+    os.environ.get(FAULTS_ENV, "")
+)
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The plan this process runs under, or None when faults are off."""
+    return _ACTIVE
+
+
+def set_active_plan(plan: Optional[FaultPlan]) -> Optional[FaultPlan]:
+    """Install ``plan`` as the process-wide plan; returns the old one.
+
+    Tests use this instead of re-importing with a mutated environment;
+    under the ``fork`` start method, worker processes inherit the
+    installed plan too.
+    """
+    global _ACTIVE
+    old = _ACTIVE
+    _ACTIVE = plan
+    return old
+
+
+def inject_attempt_faults(
+    plan: Optional[FaultPlan], spec_hash: str, attempt: int,
+    in_process: bool,
+) -> None:
+    """Run the pre-execution injections due for this spec attempt.
+
+    Called by the worker entry point before simulating.  ``in_process``
+    selects the survivable flavour of the process-level faults: an
+    in-process ``die`` raises instead of killing the caller, and an
+    in-process ``hang`` raises :class:`InjectedHang` (it will be
+    accounted as a timeout) instead of blocking forever.
+    """
+    if plan is None:
+        return
+    if plan.decide("die", spec_hash, attempt):
+        if not in_process:
+            os._exit(70)  # EX_SOFTWARE: abrupt worker death, pool breaks
+        raise InjectedCrash(
+            f"injected worker death (attempt {attempt}, in-process)"
+        )
+    if plan.decide("hang", spec_hash, attempt):
+        if not in_process:
+            time.sleep(plan.hang_seconds)
+        raise InjectedHang(f"injected hang (attempt {attempt})")
+    if plan.decide("crash", spec_hash, attempt):
+        raise InjectedCrash(f"injected crash (attempt {attempt})")
+
+
+def maybe_corrupt_store_entry(
+    plan: Optional[FaultPlan], path: Path, spec_hash: str, attempt: int,
+) -> bool:
+    """Truncate a just-written store entry when the schedule says so.
+
+    Simulates a torn write that slipped past the atomic-rename
+    discipline (a dying disk, a hand-edited file): the entry exists but
+    no longer parses, so the next reader must count it as corrupt and
+    re-simulate.  Returns True when the entry was corrupted.
+    """
+    if plan is None or not plan.decide("corrupt-store", spec_hash, attempt):
+        return False
+    try:
+        text = path.read_text("utf-8")
+        path.write_text(text[: max(1, len(text) // 3)], "utf-8")
+    except OSError:
+        return False
+    return True

@@ -9,7 +9,11 @@ can audit what a hash means) and the complete
 
 Reads are forgiving: a missing, truncated, corrupted or
 version-mismatched file is a cache miss, never an error — the executor
-simply re-simulates and rewrites it.  Writes are atomic and durable:
+simply re-simulates and rewrites it.  Forgiving is not the same as
+silent: a file that *exists* but cannot be used is counted in
+:attr:`ResultStore.corrupt_reads` and reported with a one-line stderr
+warning, because cache rot (a flaky disk, a torn write from a killed
+run, schema drift) should be visible, not absorbed.  Writes are atomic and durable:
 the payload is written to a same-directory temp file, flushed and
 ``fsync``'d, then ``os.replace``'d over the final name, so a worker
 killed mid-write can never leave a truncated entry under a real hash —
@@ -22,6 +26,7 @@ from __future__ import annotations
 import dataclasses
 import json
 import os
+import sys
 from pathlib import Path
 from typing import Optional, Union
 
@@ -60,22 +65,49 @@ class ResultStore:
 
     def __init__(self, root: Optional[Union[str, Path]] = None) -> None:
         self.root = Path(root).expanduser() if root else default_cache_dir()
+        #: Entries that existed but could not be used (corrupt, truncated,
+        #: version-mismatched, schema-drifted).  Monotonic over the store's
+        #: lifetime; the executor mirrors it into its telemetry.
+        self.corrupt_reads = 0
 
     def path_for(self, spec: RunSpec) -> Path:
         return self.root / f"{spec.content_hash}.json"
 
     def get(self, spec: RunSpec) -> Optional[RunResult]:
-        """The stored result for ``spec``, or None on any defect."""
+        """The stored result for ``spec``, or None on any defect.
+
+        A file that is simply absent is a quiet miss.  A file that is
+        *present but unusable* is also a miss — the run re-simulates —
+        but it is counted and warned about, because silent cache rot
+        re-costs simulations forever without anyone noticing.
+        """
+        path = self.path_for(spec)
         try:
-            payload = json.loads(self.path_for(spec).read_text("utf-8"))
-        except (OSError, ValueError):
-            return None  # missing, unreadable, truncated or not JSON
+            text = path.read_text("utf-8")
+        except FileNotFoundError:
+            return None  # plain miss
+        except OSError as exc:
+            return self._defective(path, f"unreadable: {exc}")
+        try:
+            payload = json.loads(text)
+        except ValueError:
+            return self._defective(path, "not valid JSON (truncated or corrupt)")
         if not isinstance(payload, dict) or payload.get("version") != STORE_VERSION:
-            return None
+            found = payload.get("version") if isinstance(payload, dict) else None
+            return self._defective(
+                path, f"version mismatch (entry {found!r}, want {STORE_VERSION})"
+            )
         try:
             return RunResult(**payload["result"])
         except (KeyError, TypeError):
-            return None  # schema drift or hand-edited file
+            return self._defective(path, "schema drift or hand-edited payload")
+
+    def _defective(self, path: Path, why: str) -> None:
+        """Count and report one unusable entry; reads it as a miss."""
+        self.corrupt_reads += 1
+        print(f"repro.exec.store: {path.name} read as a miss: {why}",
+              file=sys.stderr)
+        return None
 
     def put(self, spec: RunSpec, result: RunResult) -> Path:
         """Atomically and durably persist ``result`` under ``spec``'s hash."""
@@ -98,6 +130,7 @@ class ResultStore:
             # a SIGKILL can still strand one, which sweep_stale handles.
             try:
                 os.unlink(tmp)
+            # simlint: allow[SIM601] best-effort cleanup while re-raising the real error below
             except OSError:
                 pass
             raise
@@ -122,6 +155,7 @@ class ResultStore:
             if not alive:
                 try:
                     stray.unlink()
+                # simlint: allow[SIM601] losing a race to delete garbage is harmless
                 except OSError:
                     pass
 

@@ -15,6 +15,7 @@ from typing import List
 SOURCE_SIMULATED = "simulated"
 SOURCE_MEMO = "memo"
 SOURCE_STORE = "store"
+SOURCE_FAILED = "failed"   # every attempt failed; resolved to a FailedRun
 
 
 @dataclass(frozen=True)
@@ -37,6 +38,12 @@ class Telemetry:
     deduped: int = 0            # duplicate specs folded within batches
     batches: int = 0
     wall_time: float = 0.0      # total batch wall-clock, seconds
+    # -- fault tolerance (see repro.exec.policy / repro.exec.faults) ----------
+    retries: int = 0            # re-attempts after a failed/hung attempt
+    failures: int = 0           # specs that exhausted every attempt
+    timeouts: int = 0           # attempts killed or reported by the watchdog
+    pool_rebuilds: int = 0      # process pools rebuilt after breaking
+    store_corrupt: int = 0      # defective store entries read as misses
 
     # -- recording ------------------------------------------------------------
 
@@ -65,6 +72,10 @@ class Telemetry:
     @property
     def store_hits(self) -> int:
         return self._count(SOURCE_STORE)
+
+    @property
+    def failed(self) -> int:
+        return self._count(SOURCE_FAILED)
 
     @property
     def cache_hits(self) -> int:

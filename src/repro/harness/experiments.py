@@ -43,7 +43,7 @@ from repro.core.simulation import DEFAULT_INSTRUCTIONS
 from repro.core.priorwork import comparison_pairs
 from repro.costmodel.cacti import CactiModel
 from repro.costmodel.power import PowerModel
-from repro.exec import Executor, RunSpec, get_default_executor
+from repro.exec import Executor, FailedRun, RunSpec, get_default_executor
 from repro.mechanisms.registry import ALL_MECHANISMS, BASELINE, create
 from repro.workloads.registry import (
     ALL_BENCHMARKS,
@@ -102,6 +102,80 @@ def main_sweep(
 
 
 # ---------------------------------------------------------------------------
+# Graceful degradation helpers
+# ---------------------------------------------------------------------------
+#
+# Under a lenient retry policy (the CLI default) a batch may resolve some
+# positions to FailedRun holes and a sweep's ResultSet may carry failed
+# cells.  Exhibits degrade at benchmark granularity: a group (or grid
+# column) containing any hole is dropped from the numbers and named in
+# the exhibit's note, so a partially failed run still renders — honestly.
+
+def _complete_groups(results, group_size, keys):
+    """Split a flat batch into per-key groups, quarantining holed ones.
+
+    ``results`` is ``group_size * len(keys)`` entries in key order.
+    Returns ``(survivors, dropped)``: survivors as ``(key, group)`` pairs
+    containing only real results, dropped as the keys whose group has at
+    least one :class:`FailedRun`.
+    """
+    survivors = []
+    dropped = []
+    for index, key in enumerate(keys):
+        group = results[index * group_size:(index + 1) * group_size]
+        if any(isinstance(r, FailedRun) for r in group):
+            dropped.append(key)
+        else:
+            survivors.append((key, group))
+    if not survivors:
+        raise RuntimeError(
+            f"every group failed ({len(dropped)} of {len(dropped)}); "
+            "nothing to render — rerun with --retries or --strict to "
+            "see the underlying errors"
+        )
+    return survivors, dropped
+
+
+def _degraded_note(dropped, what: str = "benchmark") -> str:
+    """The note fragment naming what a degraded exhibit is missing."""
+    if not dropped:
+        return ""
+    names = ", ".join(str(key) for key in dropped)
+    return (f"DEGRADED: dropped {len(dropped)} {what}(s) after failed "
+            f"runs: {names}")
+
+
+def _join_notes(*notes: str) -> str:
+    return "; ".join(note for note in notes if note)
+
+
+def _densify(*sweeps: ResultSet):
+    """Restrict sweeps to benchmarks hole-free in *all* of them.
+
+    Sweep-driven exhibits aggregate whole grid columns, so one failed
+    cell poisons its benchmark everywhere that benchmark appears.
+    Returns the restricted sweeps plus the degradation note ("" when
+    everything is complete).
+    """
+    holed = set()
+    for sweep in sweeps:
+        holed.update(sweep.incomplete_benchmarks())
+    if not holed:
+        return (*sweeps, "")
+    dense = tuple(
+        sweep.subset(b for b in sweep.benchmarks if b not in holed)
+        for sweep in sweeps
+    )
+    if any(not sweep.benchmarks for sweep in dense):
+        raise RuntimeError(
+            "every benchmark had failed cells; nothing to render — rerun "
+            "with --retries or --strict to see the underlying errors"
+        )
+    note = _degraded_note(sorted(holed))
+    return (*dense, note)
+
+
+# ---------------------------------------------------------------------------
 # Figure 1 — cache-model precision validation
 # ---------------------------------------------------------------------------
 
@@ -127,11 +201,10 @@ def fig1_model_validation(
         specs.append(RunSpec(benchmark, BASELINE, config=imprecise,
                              n_instructions=n_instructions))
     results = ex.run(specs)
+    survivors, dropped = _complete_groups(results, 2, list(benchmarks))
     rows = []
     diffs = []
-    for index, benchmark in enumerate(benchmarks):
-        a = results[2 * index]
-        b = results[2 * index + 1]
+    for benchmark, (a, b) in survivors:
         diff = abs(b.ipc - a.ipc) / a.ipc if a.ipc else 0.0
         diffs.append(diff)
         rows.append({
@@ -145,7 +218,8 @@ def fig1_model_validation(
         title="MicroLib cache model vs SimpleScalar-like cache model",
         rows=rows,
         summary={"avg_abs_ipc_diff_pct": 100 * sum(diffs) / len(diffs)},
-        notes="paper: 6.8% average before model alignment",
+        notes=_join_notes(_degraded_note(dropped),
+                          "paper: 6.8% average before model alignment"),
     )
 
 
@@ -182,10 +256,10 @@ def fig2_reveng_error(
                              n_instructions=n_instructions,
                              mechanism_kwargs={"reverse_engineered": True}))
     results = ex.run(specs)
+    survivors, dropped = _complete_groups(results, 3, cells)
     rows = []
     errors = []
-    for index, (acronym, benchmark) in enumerate(cells):
-        base, reference, misread = results[3 * index:3 * index + 3]
+    for (acronym, benchmark), (base, reference, misread) in survivors:
         ref_speedup = reference.speedup_over(base)
         bad_speedup = misread.speedup_over(base)
         error = abs(bad_speedup - ref_speedup) / ref_speedup
@@ -202,7 +276,8 @@ def fig2_reveng_error(
         title="Reverse-engineering speedup error (TK, TCP, TKVC)",
         rows=rows,
         summary={"avg_error_pct": 100 * sum(errors) / len(errors)},
-        notes="paper: 5% average error vs article graphs",
+        notes=_join_notes(_degraded_note(dropped, "cell"),
+                          "paper: 5% average error vs article graphs"),
     )
 
 
@@ -235,12 +310,12 @@ def fig3_dbcp_fix(
                              mechanism_kwargs={"variant": "fixed"}))
         specs.append(RunSpec(benchmark, "TK", n_instructions=n_instructions))
     results = ex.run(specs)
+    survivors, dropped = _complete_groups(results, 4, names)
     rows = []
     gaps = []
     fixed_speedups = []
     tk_speedups = []
-    for index, benchmark in enumerate(names):
-        base, initial, fixed, tk = results[4 * index:4 * index + 4]
+    for benchmark, (base, initial, fixed, tk) in survivors:
         s_initial = initial.speedup_over(base)
         s_fixed = fixed.speedup_over(base)
         s_tk = tk.speedup_over(base)
@@ -253,7 +328,7 @@ def fig3_dbcp_fix(
             "fixed": s_fixed,
             "tk": s_tk,
         })
-    n = len(names)
+    n = len(survivors)
     return ExperimentResult(
         exhibit="Figure 3",
         title="Fixing the DBCP reverse-engineered implementation",
@@ -263,8 +338,10 @@ def fig3_dbcp_fix(
             "fixed_dbcp_mean_speedup": sum(fixed_speedups) / n,
             "tk_mean_speedup": sum(tk_speedups) / n,
         },
-        notes="paper: 38% average initial-vs-fixed difference; fixed DBCP "
-              "outperforms TK",
+        notes=_join_notes(
+            _degraded_note(dropped),
+            "paper: 38% average initial-vs-fixed difference; fixed DBCP "
+            "outperforms TK"),
     )
 
 
@@ -280,6 +357,7 @@ def fig4_speedup(
     """Average IPC speedup of every mechanism over the Table 1 baseline."""
     results = main_sweep(benchmarks=benchmarks, n_instructions=n_instructions,
                          executor=executor)
+    results, degraded = _densify(results)
     ranked = rank_mechanisms(results)
     rows = [
         {"mechanism": name, "mean_speedup": score,
@@ -291,8 +369,10 @@ def fig4_speedup(
         title="Average IPC speedup over the baseline (all benchmarks)",
         rows=rows,
         summary={"winner": ranked[0][0]},
-        notes="paper: GHB best, then SP, then TK; TP performs well for its "
-              "age; performance progress 1982-2004 is irregular",
+        notes=_join_notes(
+            degraded,
+            "paper: GHB best, then SP, then TK; TP performs well for its "
+            "age; performance progress 1982-2004 is irregular"),
     )
 
 
@@ -313,6 +393,7 @@ def fig5_cost_power(
     """Area and power of each mechanism relative to the base caches."""
     results = main_sweep(benchmarks=benchmarks, n_instructions=n_instructions,
                          executor=executor)
+    results, degraded = _densify(results)
     cacti = CactiModel()
     power = PowerModel()
     rows = []
@@ -343,9 +424,11 @@ def fig5_cost_power(
         title="Power and cost ratios",
         rows=rows,
         summary={"markov_cost_ratio": markov_cost, "sp_cost_ratio": sp_cost},
-        notes="paper: Markov/DBCP very costly; TP/SP/GHB almost free in "
-              "area; GHB power-hungry despite small tables; SP the best "
-              "overall trade-off",
+        notes=_join_notes(
+            degraded,
+            "paper: Markov/DBCP very costly; TP/SP/GHB almost free in "
+            "area; GHB power-hungry despite small tables; SP the best "
+            "overall trade-off"),
     )
 
 
@@ -388,6 +471,7 @@ def table6_subset_winners(
 ) -> ExperimentResult:
     results = main_sweep(benchmarks=benchmarks, n_instructions=n_instructions,
                          executor=executor)
+    results, degraded = _densify(results)
     table = winners_by_subset_size(results, sizes)
     counts = count_possible_winners(table)
     rows = []
@@ -408,9 +492,11 @@ def table6_subset_winners(
                 max(multi_winner_sizes) if multi_winner_sizes else 0
             ),
         },
-        notes="paper: more than one possible winner for any selection of "
-              "up to 23 benchmarks; even poor-on-average mechanisms (FVC, "
-              "Markov) win sizeable selections",
+        notes=_join_notes(
+            degraded,
+            "paper: more than one possible winner for any selection of "
+            "up to 23 benchmarks; even poor-on-average mechanisms (FVC, "
+            "Markov) win sizeable selections"),
     )
 
 
@@ -425,6 +511,7 @@ def table7_selection_ranking(
 ) -> ExperimentResult:
     results = main_sweep(benchmarks=benchmarks, n_instructions=n_instructions,
                          executor=executor)
+    results, degraded = _densify(results)
     available = set(results.benchmarks)
     selections = {
         "all": list(results.benchmarks),
@@ -453,8 +540,10 @@ def table7_selection_ranking(
         title="Influence of benchmark selection on ranking",
         rows=rows,
         summary=summary,
-        notes="paper: DBCP ranks 9th on all 26 but 3rd on its article's "
-              "selection; GHB 1st on all 26, 2nd on its own selection",
+        notes=_join_notes(
+            degraded,
+            "paper: DBCP ranks 9th on all 26 but 3rd on its article's "
+            "selection; GHB 1st on all 26, 2nd on its own selection"),
     )
 
 
@@ -469,6 +558,7 @@ def fig6_sensitivity(
 ) -> ExperimentResult:
     results = main_sweep(benchmarks=benchmarks, n_instructions=n_instructions,
                          executor=executor)
+    results, degraded = _densify(results)
     sensitivity = benchmark_sensitivity(results)
     rows = [
         {"benchmark": benchmark, "speedup_spread": spread}
@@ -482,8 +572,10 @@ def fig6_sensitivity(
         rows=rows,
         summary={"max_spread": rows[0]["speedup_spread"],
                  "min_spread": rows[-1]["speedup_spread"]},
-        notes="paper: wupwise/bzip2/crafty/eon/perlbmk/vortex barely "
-              "sensitive; apsi/equake/fma3d/mgrid/swim/gap dominate",
+        notes=_join_notes(
+            degraded,
+            "paper: wupwise/bzip2/crafty/eon/perlbmk/vortex barely "
+            "sensitive; apsi/equake/fma3d/mgrid/swim/gap dominate"),
     )
 
 
@@ -495,6 +587,7 @@ def fig7_sensitivity_subsets(
 ) -> ExperimentResult:
     results = main_sweep(benchmarks=benchmarks, n_instructions=n_instructions,
                          executor=executor)
+    results, degraded = _densify(results)
     high, low = sensitivity_split(results, k=min(k, len(results.benchmarks) // 2))
     table = subset_speedups(results, {
         "all": results.benchmarks,
@@ -516,8 +609,10 @@ def fig7_sensitivity_subsets(
         summary={"high_subset": ",".join(high), "low_subset": ",".join(low),
                  "winner_high": winner("high_sensitivity"),
                  "winner_low": winner("low_sensitivity")},
-        notes="paper: absolute performance and ranking are severely "
-              "affected by the subset choice",
+        notes=_join_notes(
+            degraded,
+            "paper: absolute performance and ranking are severely "
+            "affected by the subset choice"),
     )
 
 
@@ -541,6 +636,10 @@ def fig8_memory_model(
                          n_instructions=n_instructions, executor=executor)
         for name, config in models.items()
     }
+    # A benchmark with a failed cell under any memory model drops from
+    # all three — the comparison only makes sense on the common grid.
+    *dense, degraded = _densify(*sweeps.values())
+    sweeps = dict(zip(sweeps, dense))
     rows = []
     for name in sweeps["sdram"].mechanisms:
         if name == BASELINE:
@@ -581,10 +680,12 @@ def fig8_memory_model(
             "sp_constant_gain": gain(sp_row, "constant70"),
             "sp_sdram_gain": gain(sp_row, "sdram"),
         },
-        notes="paper: speedups shrink ~58% moving from the constant model "
-              "to SDRAM; GHB suffers more than SP (memory pressure); "
-              "average SDRAM latency varies strongly per benchmark "
-              "(87 gzip .. 389 lucas)",
+        notes=_join_notes(
+            degraded,
+            "paper: speedups shrink ~58% moving from the constant model "
+            "to SDRAM; GHB suffers more than SP (memory pressure); "
+            "average SDRAM latency varies strongly per benchmark "
+            "(87 gzip .. 389 lucas)"),
     )
 
 
@@ -604,6 +705,7 @@ def fig9_mshr(
         benchmarks=benchmarks, n_instructions=n_instructions,
         executor=executor,
     )
+    finite, infinite, degraded = _densify(finite, infinite)
     rows = []
     for name in finite.mechanisms:
         if name == BASELINE:
@@ -623,8 +725,10 @@ def fig9_mshr(
         title="Effect of cache-model accuracy (finite vs infinite MSHR)",
         rows=rows,
         summary={"rank_changes": float(flips)},
-        notes="paper: the MSHR has a limited but sometimes peculiar effect; "
-              "it can change ranking (TCP vs TK flip)",
+        notes=_join_notes(
+            degraded,
+            "paper: the MSHR has a limited but sometimes peculiar effect; "
+            "it can change ranking (TCP vs TK flip)"),
     )
 
 
@@ -647,10 +751,10 @@ def fig10_second_guessing(
         specs.append(RunSpec(benchmark, "TCP", n_instructions=n_instructions,
                              mechanism_kwargs={"queue_size": 128}))
     results = ex.run(specs)
+    survivors, dropped = _complete_groups(results, 3, list(benchmarks))
     rows = []
     diffs = []
-    for index, benchmark in enumerate(benchmarks):
-        base, small, large = results[3 * index:3 * index + 3]
+    for benchmark, (base, small, large) in survivors:
         s_small = small.speedup_over(base)
         s_large = large.speedup_over(base)
         diffs.append(abs(s_large - s_small))
@@ -665,9 +769,11 @@ def fig10_second_guessing(
         rows=rows,
         summary={"max_abs_speedup_diff": max(diffs),
                  "avg_abs_speedup_diff": sum(diffs) / len(diffs)},
-        notes="paper: tiny difference for crafty/eon, dramatic for "
-              "lucas/mgrid/art; a large buffer seizes the bus and can delay "
-              "normal misses",
+        notes=_join_notes(
+            _degraded_note(dropped),
+            "paper: tiny difference for crafty/eon, dramatic for "
+            "lucas/mgrid/art; a large buffer seizes the bus and can delay "
+            "normal misses"),
     )
 
 
@@ -718,8 +824,8 @@ def fig11_trace_selection(
 
     per_mechanism: Dict[str, List[Tuple[float, float]]] = {m: [] for m in names}
     stride = 2 + 2 * len(names)
-    for b_index, benchmark in enumerate(benchmarks):
-        chunk = results[b_index * stride:(b_index + 1) * stride]
+    survivors, dropped = _complete_groups(results, stride, list(benchmarks))
+    for benchmark, chunk in survivors:
         base_arbitrary, base_simpoint = chunk[0], chunk[1]
         for m_index, name in enumerate(names):
             mech_arbitrary = chunk[2 + 2 * m_index]
@@ -746,7 +852,9 @@ def fig11_trace_selection(
         rows=rows,
         summary={"mechanisms_better_on_arbitrary": float(arbitrary_better),
                  "n_mechanisms": float(len(per_mechanism))},
-        notes="paper: most mechanisms look better on arbitrary windows "
-              "(TP the notable exception); trace selection can flip "
-              "research decisions",
+        notes=_join_notes(
+            _degraded_note(dropped),
+            "paper: most mechanisms look better on arbitrary windows "
+            "(TP the notable exception); trace selection can flip "
+            "research decisions"),
     )

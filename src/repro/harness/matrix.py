@@ -22,29 +22,50 @@ def speedup_matrix(
     n_instructions: int = DEFAULT_INSTRUCTIONS,
     executor: Optional[Executor] = None,
 ) -> ExperimentResult:
-    """One row per mechanism: per-benchmark speedups plus the mean."""
+    """One row per mechanism: per-benchmark speedups plus the mean.
+
+    The matrix is the one exhibit that renders failed cells *in place*:
+    a cell whose spec (or whose baseline) exhausted every attempt shows
+    ``FAILED`` where the speedup would be, and the mechanism's mean is
+    taken over its surviving benchmarks only.
+    """
     results = main_sweep(benchmarks=benchmarks, n_instructions=n_instructions,
                          executor=executor)
+
+    def cell_ok(mechanism, benchmark):
+        return ((mechanism, benchmark) in results
+                and (BASELINE, benchmark) in results)
+
     rows = []
     for mechanism in results.mechanisms:
         if mechanism == BASELINE:
             continue
         row = {"mechanism": mechanism}
-        row.update({
-            benchmark: results.speedup(mechanism, benchmark)
-            for benchmark in results.benchmarks
-        })
-        row["MEAN"] = results.mean_speedup(mechanism)
+        usable = []
+        for benchmark in results.benchmarks:
+            if cell_ok(mechanism, benchmark):
+                row[benchmark] = results.speedup(mechanism, benchmark)
+                usable.append(benchmark)
+            else:
+                row[benchmark] = "FAILED"
+        row["MEAN"] = (results.mean_speedup(mechanism, usable)
+                       if usable else "FAILED")
         rows.append(row)
     base_row = {"mechanism": "Base(IPC)"}
     base_row.update({
-        benchmark: results.ipc(BASELINE, benchmark)
+        benchmark: (results.ipc(BASELINE, benchmark)
+                    if (BASELINE, benchmark) in results else "FAILED")
         for benchmark in results.benchmarks
     })
     rows.append(base_row)
+    notes = "the grid every figure projects; final row is baseline IPC"
+    if not results.complete:
+        failed = results.failures
+        notes = (f"DEGRADED: {len(failed)} cell(s) failed after exhausting "
+                 "retries (see FAILED entries); " + notes)
     return ExperimentResult(
         exhibit="Matrix",
         title="Full speedup matrix (all mechanisms x all benchmarks)",
         rows=rows,
-        notes="the grid every figure projects; final row is baseline IPC",
+        notes=notes,
     )

@@ -81,6 +81,8 @@ class LedgerRecord:
     wall_seconds: float = 0.0
     events_per_second: float = 0.0   # simulated trace records / wall second
     peak_rss_kb: int = 0
+    retries: int = 0   # executor re-attempts behind this measurement
+    failures: int = 0  # specs that exhausted every attempt (grid holes)
     host: Dict[str, Any] = field(default_factory=dict)
     metrics: Dict[str, float] = field(default_factory=dict)
     schema: int = LEDGER_SCHEMA
@@ -101,8 +103,15 @@ def make_record(
     mechanism: str = "",
     n_instructions: int = 0,
     metrics: Optional[Dict[str, float]] = None,
+    retries: int = 0,
+    failures: int = 0,
 ) -> LedgerRecord:
-    """Assemble a record, stamping time, host and peak RSS here."""
+    """Assemble a record, stamping time, host and peak RSS here.
+
+    ``retries``/``failures`` carry the executor's fault accounting so a
+    chaos run's ledger entry records how hard it had to fight — and so
+    ``diff`` can flag a measurement polluted by retried work.
+    """
     rate = instructions / wall_seconds if wall_seconds > 0 and instructions else 0.0
     return LedgerRecord(
         label=label,
@@ -114,6 +123,8 @@ def make_record(
         wall_seconds=round(wall_seconds, 6),
         events_per_second=round(rate, 3),
         peak_rss_kb=peak_rss_kb(),
+        retries=retries,
+        failures=failures,
         host=host_fingerprint(),
         metrics=dict(metrics or {}),
     )
@@ -252,6 +263,12 @@ def diff_records(a: LedgerRecord, b: LedgerRecord) -> List[DiffRow]:
         DiffRow("events_per_second", a.events_per_second, b.events_per_second),
         DiffRow("peak_rss_kb", float(a.peak_rss_kb), float(b.peak_rss_kb)),
     ]
+    # Fault accounting appears only when either side saw any, so diffs of
+    # clean entries (and entries predating the fields) look as before.
+    if a.retries or b.retries:
+        rows.append(DiffRow("retries", float(a.retries), float(b.retries)))
+    if a.failures or b.failures:
+        rows.append(DiffRow("failures", float(a.failures), float(b.failures)))
     for key in sorted(set(a.metrics) | set(b.metrics)):
         rows.append(DiffRow(
             key, float(a.metrics.get(key, 0.0)), float(b.metrics.get(key, 0.0))

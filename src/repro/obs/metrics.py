@@ -211,13 +211,20 @@ EXECUTOR_SERIES = (
     "executor.results", "executor.simulated", "executor.memo_hits",
     "executor.store_hits", "executor.deduped", "executor.batches",
     "executor.wall_seconds", "executor.sim_seconds",
+    # fault tolerance (see repro.exec.policy / repro.exec.faults)
+    "executor.retries", "executor.failures", "executor.timeouts",
+    "executor.pool_rebuilds", "executor.store_corrupt",
 )
 
 
 def harvest_executor(telemetry: Any,
                      registry: Optional[MetricsRegistry] = None,
                      **labels: Any) -> MetricsRegistry:
-    """Publish executor telemetry counters into ``registry``."""
+    """Publish executor telemetry counters into ``registry``.
+
+    The fault counters read through ``getattr`` with a default so a
+    pickled/duck-typed telemetry object predating them still harvests.
+    """
     registry = registry if registry is not None else get_default_registry()
     values = {
         "executor.results": telemetry.results_returned,
@@ -228,6 +235,11 @@ def harvest_executor(telemetry: Any,
         "executor.batches": telemetry.batches,
         "executor.wall_seconds": telemetry.wall_time,
         "executor.sim_seconds": telemetry.sim_seconds,
+        "executor.retries": getattr(telemetry, "retries", 0),
+        "executor.failures": getattr(telemetry, "failures", 0),
+        "executor.timeouts": getattr(telemetry, "timeouts", 0),
+        "executor.pool_rebuilds": getattr(telemetry, "pool_rebuilds", 0),
+        "executor.store_corrupt": getattr(telemetry, "store_corrupt", 0),
     }
     for name in EXECUTOR_SERIES:
         unit = "seconds" if name.endswith("seconds") else "count"
@@ -244,6 +256,10 @@ def executor_summary_line(telemetry: Any,
     metrics registry and the summary string is built from the registry's
     series, so anything else reading the registry sees exactly the
     numbers the stderr line reports.
+
+    Fault-tolerance counters (retries, timeouts, pool rebuilds, failed
+    specs, corrupt store entries) are appended only when nonzero — a
+    clean run's line is byte-identical to what it always was.
     """
     registry = harvest_executor(telemetry, registry)
     latest = registry.latest
@@ -263,4 +279,14 @@ def executor_summary_line(telemetry: Any,
     ]
     if simulated:
         parts.append(f"avg {sim_seconds / simulated:.3f}s/sim")
+    for name, noun in (
+        ("executor.retries", "retries"),
+        ("executor.timeouts", "timeouts"),
+        ("executor.pool_rebuilds", "pool rebuilds"),
+        ("executor.failures", "FAILED"),
+        ("executor.store_corrupt", "corrupt store entries"),
+    ):
+        count = int(latest(name))
+        if count:
+            parts.append(f"{count} {noun}")
     return "executor: " + ", ".join(parts)

@@ -1,0 +1,16 @@
+"""Known-bad: sim-path code that swallows failures wholesale.
+
+A broad handler that neither re-raises nor converts the failure into a
+FailedRun turns a mis-simulated cell into a silently wrong number:
+the retry policy never sees the error, the grid shows no hole, and the
+bogus value is cached forever.  SIM601 flags it.
+"""
+
+
+def lookup_latency(table, address):
+    try:
+        return table[address]
+    except Exception:
+        # Looks harmless; actually hides KeyError *and* every simulator
+        # bug that surfaces while computing the entry.
+        return 0

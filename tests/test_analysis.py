@@ -42,6 +42,7 @@ FIXTURE_RULES = {
     "unbound_port.py": "SIM403",
     "orphan_stat.py": "SIM501",
     "fstring_span.py": "SIM502",
+    "swallowed_exception.py": "SIM601",
 }
 
 

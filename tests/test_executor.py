@@ -89,6 +89,8 @@ def test_corrupted_and_partial_store_files_are_skipped(tmp_path):
     results = replay.run(specs)
     assert replay.telemetry.simulated == 3       # the three damaged entries
     assert replay.telemetry.store_hits == 1      # the untouched one
+    assert replay.telemetry.store_corrupt == 3   # and they were counted
+    assert store.corrupt_reads == 3
     assert [(r.mechanism, r.benchmark) for r in results] == [
         (s.mechanism, s.benchmark) for s in specs
     ]
