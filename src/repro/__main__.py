@@ -24,6 +24,16 @@ default — a spec that fails every attempt becomes an annotated hole in
 the exhibit instead of aborting the whole run; ``--strict`` restores
 fail-fast (first exhausted spec exits non-zero).  Chaos runs are driven
 by ``REPRO_FAULTS`` (see :mod:`repro.exec.faults`).
+
+Durability: multi-spec sweeps are backed by a crash-safe write-ahead
+journal under ``<cache-dir>/journal`` (:mod:`repro.exec.journal`).  A
+killed run resumes with ``--resume`` — finished specs are served from
+the journal + store without re-simulation, and the resumed output is
+bit-identical to an uninterrupted run.  SIGINT/SIGTERM shut down
+gracefully (drain in-flight work, flush the journal, exit ``130``/
+``143`` with a resume pointer; a second signal terminates immediately).
+``--retry-failed`` re-runs specs a resumed journal recorded as
+exhausted.  ``python -m repro.exec fsck`` verifies store integrity.
 """
 
 from __future__ import annotations
@@ -35,12 +45,14 @@ from typing import Callable, Dict
 
 from repro import harness
 from repro.exec import (
+    SHUTDOWN,
     Executor,
     FailedRun,
     ResultStore,
     RetryPolicy,
     RunSpec,
     SpecExhausted,
+    SweepInterrupted,
     active_plan,
     set_default_executor,
 )
@@ -138,7 +150,15 @@ def _build_executor(args) -> Executor:
     policy = RetryPolicy(
         retries=args.retries, timeout=args.timeout, strict=args.strict
     )
-    return Executor(jobs=args.jobs, store=store, policy=policy)
+    # Durability: multi-spec sweeps journal next to the store, so every
+    # cached run is also resumable.  --no-cache has nowhere to journal
+    # (and nothing a resume could serve results from).
+    journal_dir = store.journal_dir if store is not None else None
+    return Executor(
+        jobs=args.jobs, store=store, policy=policy,
+        journal_dir=journal_dir, resume=args.resume,
+        retry_failed=args.retry_failed, shutdown=SHUTDOWN,
+    )
 
 
 def _print_summary(executor: Executor) -> None:
@@ -237,6 +257,16 @@ def main(argv=None) -> int:
                         help="abort on the first simulation that fails "
                              "every attempt, instead of degrading to an "
                              "annotated hole in the exhibit")
+    parser.add_argument("--resume", action="store_true",
+                        help="resume an interrupted sweep from its "
+                             "write-ahead journal: finished specs are "
+                             "served without re-simulation (needs the "
+                             "cache; output is bit-identical to an "
+                             "uninterrupted run)")
+    parser.add_argument("--retry-failed", action="store_true",
+                        help="with --resume, re-run specs the journal "
+                             "recorded as having exhausted every attempt "
+                             "(default: serve them as annotated holes)")
     parser.add_argument("--trace", metavar="OUT.json", default=None,
                         help="record a Chrome trace_event timeline of the "
                              "run to OUT.json (forces --jobs 1 --no-cache)")
@@ -247,7 +277,14 @@ def main(argv=None) -> int:
 
     if args.trace:
         _arm_tracing(args)
+    if args.resume and args.no_cache:
+        parser.error("--resume needs the result store (drop --no-cache): "
+                     "the journal only records *that* specs finished; the "
+                     "results themselves live in the cache")
     executor = set_default_executor(_build_executor(args))
+    # Graceful shutdown is a CLI concern: libraries never install signal
+    # handlers, the CLI does, around exactly the command execution.
+    SHUTDOWN.install()
     try:
         if args.command == "run":
             if not args.benchmark:
@@ -275,7 +312,18 @@ def main(argv=None) -> int:
         print(f"FAILED (strict): {exc.failure.summary()}", file=sys.stderr)
         _print_summary(executor)
         return 1
+    except SweepInterrupted as exc:
+        # Graceful signal shutdown: the journal is flushed, progress is
+        # durable.  Summarise, ledger, and exit 128 + signum so callers
+        # (shells, schedulers) see the conventional signal status.
+        print(f"executor: {exc} — progress journaled; rerun with "
+              "--resume to continue without re-simulation", file=sys.stderr)
+        _print_summary(executor)
+        _append_ledger_entry(args.command, executor)
+        return exc.exit_code
     finally:
+        SHUTDOWN.uninstall()
+        SHUTDOWN.reset()
         if args.trace:
             _export_trace(args)
     parser.error(f"unknown command {args.command!r}")

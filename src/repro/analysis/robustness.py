@@ -16,6 +16,19 @@ methodological rot the paper warns about.
   Legitimate sites (best-effort cleanup that re-raises elsewhere,
   benign races on garbage deletion) carry an
   ``# simlint: allow[SIM601] <reason>`` justification.
+
+* SIM602 ``trapped-interrupt`` — an ``except`` handler that names
+  ``KeyboardInterrupt`` or ``SystemExit`` without re-raising or routing
+  through the shutdown layer (:mod:`repro.exec.shutdown`).  Since the
+  graceful-shutdown work, Ctrl-C and SIGTERM are *requests* the sweep
+  must honour — drain, flush the journal, exit ``128 + signum`` — and a
+  handler that traps the interrupt and carries on breaks that contract:
+  the operator's second signal is then the only way out, and it loses
+  the drain.  Handlers that re-raise (the standard
+  ``except KeyboardInterrupt: raise`` pass-through) or reference the
+  shutdown manager / :class:`~repro.exec.shutdown.SweepInterrupted` are
+  sanctioned; anything else needs an
+  ``# simlint: allow[SIM602] <reason>``.
 """
 
 from __future__ import annotations
@@ -77,6 +90,36 @@ def _is_pass_only(handler: ast.ExceptHandler) -> bool:
     return all(isinstance(node, ast.Pass) for node in handler.body)
 
 
+#: Interrupt-class exceptions a sweep must honour, never trap (SIM602).
+_INTERRUPT_NAMES = frozenset({"KeyboardInterrupt", "SystemExit"})
+
+
+def _routes_shutdown(handler: ast.ExceptHandler) -> bool:
+    """Whether the handler re-raises or defers to the shutdown layer.
+
+    A ``raise`` anywhere in the body sanctions it (the pass-through
+    idiom and conversion to :class:`SweepInterrupted` both qualify), as
+    does any reference whose name mentions the shutdown machinery —
+    ``SHUTDOWN``, ``ShutdownManager``, ``self.shutdown``,
+    ``SweepInterrupted`` — since routing through the manager is exactly
+    the sanctioned response to an interrupt.
+    """
+    for node in handler.body:
+        for inner in ast.walk(node):
+            if isinstance(inner, ast.Raise):
+                return True
+            name = None
+            if isinstance(inner, ast.Name):
+                name = inner.id
+            elif isinstance(inner, ast.Attribute):
+                name = inner.attr
+            if name is not None:
+                lowered = name.lower()
+                if "shutdown" in lowered or lowered == "sweepinterrupted":
+                    return True
+    return False
+
+
 @rule("SIM601", "swallowed-exception", _PACKAGES,
       "sim-path code must not swallow exceptions: re-raise, convert to "
       "a FailedRun, or justify with an allow comment")
@@ -106,4 +149,33 @@ def check_swallowed_exception(
                     "becomes a silently wrong result — let it propagate "
                     "so the retry policy can account for it",
                 ))
+    return found
+
+
+@rule("SIM602", "trapped-interrupt", _PACKAGES,
+      "sim-path code must not trap KeyboardInterrupt/SystemExit: "
+      "re-raise, or route through the shutdown manager")
+def check_trapped_interrupt(
+    module: SourceModule, modules: Sequence[SourceModule]
+) -> List[Violation]:
+    found = []
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Try):
+            continue
+        for handler in node.handlers:
+            trapped = [name for name in _caught_names(handler)
+                       if name in _INTERRUPT_NAMES]
+            # Bare excepts and BaseException handlers are SIM601's beat;
+            # SIM602 is about handlers that *name* an interrupt.
+            if not trapped or _routes_shutdown(handler):
+                continue
+            caught = ", ".join(trapped)
+            found.append(make_violation(
+                _rule("SIM602"), module, handler,
+                f"handler traps {caught} without re-raising or routing "
+                "through the shutdown manager; a trapped interrupt "
+                "skips the graceful drain-and-journal path and strands "
+                "the operator — re-raise it, raise SweepInterrupted, "
+                "or justify with an allow comment",
+            ))
     return found

@@ -18,6 +18,12 @@ exhausted specs surface as :class:`~repro.exec.policy.FailedRun` holes
 (or :class:`~repro.exec.policy.SpecExhausted` in strict mode).  Every
 recovery path is exercisable deterministically via ``REPRO_FAULTS``
 (:mod:`repro.exec.faults`).
+
+Durability: multi-spec batches are backed by a crash-safe write-ahead
+journal (:mod:`repro.exec.journal`) when a journal directory is
+configured, ``--resume`` replays it, SIGINT/SIGTERM shut down
+gracefully through :class:`~repro.exec.shutdown.ShutdownManager`, and
+``python -m repro.exec fsck`` verifies store integrity.
 """
 
 from __future__ import annotations
@@ -31,6 +37,13 @@ from repro.exec.faults import (
     parse_fault_spec,
     set_active_plan,
 )
+from repro.exec.journal import (
+    JournalState,
+    SweepJournal,
+    read_state,
+    scan_journals,
+    sweep_identity,
+)
 from repro.exec.policy import (
     ExecutionError,
     FailedRun,
@@ -39,7 +52,12 @@ from repro.exec.policy import (
     SpecTimeout,
 )
 from repro.exec.runspec import RunSpec
-from repro.exec.store import ResultStore, default_cache_dir
+from repro.exec.shutdown import (
+    SHUTDOWN,
+    ShutdownManager,
+    SweepInterrupted,
+)
+from repro.exec.store import FsckReport, ResultStore, default_cache_dir
 from repro.exec.telemetry import RunRecord, Telemetry
 
 __all__ = [
@@ -47,20 +65,29 @@ __all__ = [
     "Executor",
     "FailedRun",
     "FaultPlan",
+    "FsckReport",
+    "JournalState",
     "ResultStore",
     "RetryPolicy",
     "RunRecord",
     "RunSpec",
+    "SHUTDOWN",
+    "ShutdownManager",
     "SpecExhausted",
     "SpecTimeout",
+    "SweepInterrupted",
+    "SweepJournal",
     "Telemetry",
     "active_plan",
     "default_cache_dir",
     "get_default_executor",
     "parse_fault_spec",
+    "read_state",
     "reset_default_executor",
+    "scan_journals",
     "set_active_plan",
     "set_default_executor",
+    "sweep_identity",
 ]
 
 _default_executor: Optional[Executor] = None

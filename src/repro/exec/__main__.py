@@ -1,0 +1,98 @@
+"""Store maintenance front end: ``python -m repro.exec fsck``.
+
+Examples::
+
+    python -m repro.exec fsck                       # verify the default store
+    python -m repro.exec fsck --cache-dir .cache    # a specific store
+    python -m repro.exec fsck --prune               # remove what fails
+
+``fsck`` runs the offline integrity pass over every result-store entry
+(:meth:`~repro.exec.store.ResultStore.verify_entry` — parse, version,
+checksum, result schema, filename-vs-content addressing), reports stale
+temp files stranded by killed writers, and summarises the sweep
+journals found alongside the store.  ``--prune`` removes defective
+entries and stale temps, and retires journals whose sweeps completed
+(a finished journal serves nothing; an *incomplete* one is what
+``--resume`` needs and is never pruned).
+
+Every invocation appends its report as one ``fsck`` record to
+``<journal-dir>/fsck.jsonl`` — the same append-only, fsync'd discipline
+as the sweep journals — so repairs are themselves journaled.  Exit
+status: 0 when the store is clean (or everything defective was pruned),
+1 when defects remain.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.exec.journal import SweepJournal, scan_journals
+from repro.exec.store import ResultStore
+
+
+def _cmd_fsck(args: argparse.Namespace) -> int:
+    store = ResultStore(args.cache_dir)  # None -> default cache dir
+    report = store.fsck(prune=args.prune)
+    print(report.render())
+
+    journals = scan_journals(store.journal_dir)
+    pruned_journals: List[str] = []
+    for path, state in journals:
+        status = ("complete" if state.complete
+                  else f"incomplete ({state.resolved} resolved)")
+        if state.corrupt_lines:
+            status += f", {state.corrupt_lines} corrupt line(s) skipped"
+        print(f"  journal {path.name}: {status}")
+        if args.prune and state.complete:
+            try:
+                path.unlink()
+                pruned_journals.append(path.name)
+                print(f"  pruned {path.name} (sweep finished; journal "
+                      "serves nothing)")
+            except OSError as exc:
+                print(f"  journal {path.name}: prune failed: {exc}")
+
+    # The repair is itself journaled: one fsck record, same append-only
+    # fsync'd discipline as the sweep journals it lives beside.
+    fsck_log = SweepJournal(store.journal_dir / "fsck.jsonl", sweep_id="fsck")
+    payload = report.describe()
+    payload["pruned_journals"] = pruned_journals
+    fsck_log.append("fsck", report=payload)
+
+    if report.problems and not args.prune:
+        print(f"fsck: {len(report.problems)} defective entr"
+              f"{'y' if len(report.problems) == 1 else 'ies'} remain "
+              "(re-run with --prune to remove)", file=sys.stderr)
+        return 1
+    unpruned = [name for name, _why in report.problems
+                if name not in report.pruned]
+    return 1 if unpruned else 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.exec",
+        description="result-store maintenance (integrity check and repair)",
+    )
+    sub = parser.add_subparsers(dest="subcommand", required=True)
+    fsck = sub.add_parser(
+        "fsck",
+        help="verify every store entry's integrity; --prune removes failures",
+    )
+    fsck.add_argument("--cache-dir", default=None,
+                      help="result-store directory (default ~/.cache/repro "
+                           "or $REPRO_CACHE_DIR)")
+    fsck.add_argument("--prune", action="store_true",
+                      help="remove defective entries, stale temps and "
+                           "finished sweep journals")
+    args = parser.parse_args(argv)
+    if args.subcommand == "fsck":
+        return _cmd_fsck(args)
+    parser.error(f"unknown subcommand {args.subcommand!r}")
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

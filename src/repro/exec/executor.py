@@ -33,6 +33,22 @@ therefore governed by a :class:`~repro.exec.policy.RetryPolicy`:
 
 Every recovery path is exercisable on a deterministic schedule via
 ``REPRO_FAULTS`` (see :mod:`repro.exec.faults`).
+
+Durability
+----------
+Workers failing is one half of the problem; the *driver* dying (OOM
+kill, SIGTERM, Ctrl-C, host reboot) is the other.  When ``journal_dir``
+is configured, every multi-spec batch is backed by a crash-safe
+write-ahead journal (:mod:`repro.exec.journal`): per-spec lifecycle
+transitions are fsync'd before and after each unit of work, so a killed
+driver leaves an exact record of what finished.  ``resume=True``
+replays that record — finished specs are served from the journal +
+store, persisted :class:`FailedRun` holes are honoured instead of
+silently re-running exhausted specs (``retry_failed=True`` opts back
+in) — and a ``shutdown`` manager turns SIGINT/SIGTERM into a graceful
+stop: dispatch halts, in-flight attempts drain within a deadline, the
+journal is flushed, and :class:`~repro.exec.shutdown.SweepInterrupted`
+carries the conventional exit code up to the CLI.
 """
 
 from __future__ import annotations
@@ -48,6 +64,7 @@ from concurrent.futures import (
     wait,
 )
 from concurrent.futures.process import BrokenProcessPool
+from pathlib import Path
 from typing import (
     Callable,
     Deque,
@@ -63,11 +80,21 @@ from repro.core.config import MachineConfig, baseline_config
 from repro.core.results import ResultSet
 from repro.core.simulation import DEFAULT_INSTRUCTIONS, RunResult
 from repro.exec.faults import (
+    KILL_ORCHESTRATOR_EXIT,
     FaultPlan,
     InjectedHang,
     active_plan,
     inject_attempt_faults,
     maybe_corrupt_store_entry,
+    should_kill_orchestrator,
+)
+from repro.exec.journal import (
+    JournalState,
+    SweepJournal,
+    hint_incomplete,
+    journal_path,
+    read_state,
+    sweep_identity,
 )
 from repro.exec.policy import (
     FailedRun,
@@ -76,9 +103,11 @@ from repro.exec.policy import (
     SpecTimeout,
 )
 from repro.exec.runspec import RunSpec
+from repro.exec.shutdown import SHUTDOWN, ShutdownManager, SweepInterrupted
 from repro.exec.store import ResultStore
 from repro.exec.telemetry import (
     SOURCE_FAILED,
+    SOURCE_JOURNAL,
     SOURCE_MEMO,
     SOURCE_SIMULATED,
     SOURCE_STORE,
@@ -168,6 +197,10 @@ class Executor:
         progress: Optional[ProgressFn] = None,
         policy: Optional[RetryPolicy] = None,
         faults: Optional[FaultPlan] = None,
+        journal_dir: Optional[Union[str, Path]] = None,
+        resume: bool = False,
+        retry_failed: bool = False,
+        shutdown: Optional[ShutdownManager] = None,
     ) -> None:
         self.jobs = max(1, jobs if jobs is not None else (os.cpu_count() or 1))
         self.store = store
@@ -175,11 +208,29 @@ class Executor:
         self.progress = progress
         self.policy = policy if policy is not None else RetryPolicy()
         self.faults = faults if faults is not None else active_plan()
+        #: Where multi-spec batches journal their progress; None disables
+        #: the write-ahead journal (the library default — importing must
+        #: not write to disk).  The CLI wires it to ``store.journal_dir``.
+        self.journal_dir = (Path(journal_dir) if journal_dir is not None
+                            else None)
+        #: Serve finished/failed specs from an existing journal instead
+        #: of re-dispatching them (``--resume``).
+        self.resume = resume
+        #: Re-run specs the journal recorded as exhausted (``--retry-failed``).
+        self.retry_failed = retry_failed
+        #: Consulted between waves; the never-installed process singleton
+        #: is inert, so library use pays nothing.
+        self.shutdown = shutdown if shutdown is not None else SHUTDOWN
         self._memo: Dict[str, Resolved] = {}
         self._sweep_memo: Dict[Tuple[str, ...], ResultSet] = {}
         #: monotonic() at each spec's first attempt (for FailedRun.elapsed).
         self._first_attempt_at: Dict[str, float] = {}
         self._store_corrupt_base = store.corrupt_reads if store else 0
+        #: The current batch's write-ahead journal and its replayed state.
+        self._journal: Optional[SweepJournal] = None
+        self._journal_state: Optional[JournalState] = None
+        #: Live pool, killed by the shutdown manager's second-signal path.
+        self._active_pool: Optional[ProcessPoolExecutor] = None
 
     # -- batch execution ------------------------------------------------------
 
@@ -203,24 +254,38 @@ class Executor:
             if key not in unique:
                 unique[key] = spec
 
-        to_simulate: List[RunSpec] = []
-        for key, spec in unique.items():
-            if key in self._memo:
-                self._record(spec, SOURCE_MEMO)
-                continue
-            stored = self.store.get(spec) if self.store is not None else None
-            if stored is not None:
-                self._memo[key] = stored
-                self._record(spec, SOURCE_STORE)
-                continue
-            to_simulate.append(spec)
-        if self.store is not None:
-            self.telemetry.store_corrupt = (
-                self.store.corrupt_reads - self._store_corrupt_base
-            )
+        self._journal, self._journal_state = self._open_journal(order, unique)
+        try:
+            to_simulate: List[RunSpec] = []
+            for key, spec in unique.items():
+                if key in self._memo:
+                    self._record(spec, SOURCE_MEMO)
+                    self._journal_resolved(spec, SOURCE_MEMO)
+                    continue
+                if self._serve_from_journal(spec):
+                    continue
+                stored = self.store.get(spec) if self.store is not None else None
+                if stored is not None:
+                    self._memo[key] = stored
+                    self._record(spec, SOURCE_STORE)
+                    self._journal_resolved(spec, SOURCE_STORE)
+                    continue
+                to_simulate.append(spec)
+            if self.store is not None:
+                self.telemetry.store_corrupt = (
+                    self.store.corrupt_reads - self._store_corrupt_base
+                )
 
-        if to_simulate:
-            self._simulate(to_simulate)
+            if to_simulate:
+                self._simulate(to_simulate)
+
+            # Reaching here means every spec resolved (strict exhaustion
+            # and graceful shutdown raise past this): the journal is done.
+            if self._journal is not None:
+                self._journal.complete(len(unique))
+        finally:
+            self._journal = None
+            self._journal_state = None
 
         self.telemetry.record_batch(
             len(specs), len(unique), time.perf_counter() - start
@@ -228,6 +293,151 @@ class Executor:
         if tracing:
             TRACER.end(unique=len(unique), simulated=len(to_simulate))
         return [self._memo[key] for key in order]
+
+    # -- durability (journal, resume, shutdown, driver kill) ------------------
+
+    def _open_journal(
+        self, order: List[str], unique: Dict[str, RunSpec]
+    ) -> Tuple[Optional[SweepJournal], Optional[JournalState]]:
+        """The write-ahead journal for this batch, plus any resume state.
+
+        Journaling covers every multi-spec batch when a journal
+        directory is configured.  Resuming reuses the existing file
+        (its replayed state serves finished specs); a fresh run
+        overwrites it, hinting on stderr first when the old journal
+        was left incomplete by a killed run.
+        """
+        if self.journal_dir is None or len(order) < 2:
+            return None, None
+        sweep_id = sweep_identity(order, self.policy)
+        path = journal_path(self.journal_dir, sweep_id)
+        state = read_state(path)
+        if self.resume and state is not None:
+            return (
+                SweepJournal(path, sweep_id, plan=self.faults,
+                             seq=state.lines),
+                state,
+            )
+        if state is not None and not state.complete:
+            hint_incomplete(state)
+        path.unlink(missing_ok=True)
+        journal = SweepJournal(path, sweep_id, plan=self.faults)
+        journal.start(len(unique), len(order), self.policy)
+        for key, spec in unique.items():
+            journal.planned(key, spec.benchmark, spec.mechanism)
+        return journal, None
+
+    def _serve_from_journal(self, spec: RunSpec) -> bool:
+        """Resolve ``spec`` from the replayed journal, when it can be.
+
+        A ``done`` record means the result is in the store under the
+        spec's hash — re-read it rather than re-dispatching.  A
+        persisted failure is served as its :class:`FailedRun` hole so a
+        resumed lenient sweep never silently re-runs an exhausted spec
+        (``retry_failed`` opts back in; strict mode always re-runs, an
+        honoured failure would have to raise anyway).
+        """
+        state = self._journal_state
+        if state is None:
+            return False
+        key = spec.content_hash
+        if key in state.done and self.store is not None:
+            stored = self.store.get(spec)
+            if stored is not None:
+                self._memo[key] = stored
+                self._record(spec, SOURCE_JOURNAL)
+                return True
+            # Journaled done but the entry rotted away: fall through and
+            # re-simulate (the store's corrupt-read warning already fired).
+        failure = state.failures.get(key)
+        if (failure is not None and not self.policy.strict
+                and not self.retry_failed):
+            self._memo[key] = failure
+            self._record(spec, SOURCE_JOURNAL)
+            return True
+        return False
+
+    def _journal_resolved(self, spec: RunSpec, source: str) -> None:
+        """Journal a spec that resolved without dispatching (memo/store)."""
+        if self._journal is None:
+            return
+        resolved = self._memo[spec.content_hash]
+        if isinstance(resolved, FailedRun):
+            self._journal.failed(resolved)
+        else:
+            self._journal.done(spec.content_hash, spec.benchmark,
+                               spec.mechanism, source)
+
+    def _shutdown_signal(self) -> Optional[int]:
+        """The pending shutdown signal, or None to keep going."""
+        if self.shutdown is None:
+            return None
+        return self.shutdown.requested
+
+    def _interrupt(self, signum: int) -> None:
+        """Journal the graceful stop and raise it out of the batch."""
+        if self._journal is not None:
+            self._journal.interrupted(signum)
+        raise SweepInterrupted(signum)
+
+    def _emergency_kill_pool(self) -> None:
+        """Second-signal path: the shutdown manager kills the live pool."""
+        pool = self._active_pool
+        if pool is not None:
+            _terminate_pool(pool)
+
+    def _maybe_kill_orchestrator(
+        self, key: str, pool: Optional[ProcessPoolExecutor] = None
+    ) -> None:
+        """Chaos mode: die like an OOM-killed driver, between waves.
+
+        Runs driver-side only, right after ``key`` was absorbed —
+        stored and journaled ``done`` — so the sweep provably advances
+        by at least one spec per resumed run and the resume loop
+        converges.  The pool is torn down first so no workers outlive
+        the "kill".
+        """
+        if not should_kill_orchestrator(self.faults, key):
+            return
+        print(
+            "faults: injected orchestrator kill (journal flushed; "
+            "resume with --resume)",
+            file=sys.stderr,
+        )
+        if pool is not None:
+            _terminate_pool(pool)
+        os._exit(KILL_ORCHESTRATOR_EXIT)
+
+    def _drain_and_stop(
+        self,
+        pool: ProcessPoolExecutor,
+        pending: Dict["Future[_WorkerReturn]",
+                      Tuple[RunSpec, int, Optional[float]]],
+        signum: int,
+    ) -> None:
+        """Graceful shutdown of a pool batch: drain, flush, raise.
+
+        Dispatching has stopped; in-flight attempts get the shutdown
+        manager's grace deadline to finish, whatever completes is
+        absorbed (stored and journaled) so the resume serves it, and
+        the rest are terminated with the pool.  Always raises
+        :class:`SweepInterrupted`.
+        """
+        grace = self.shutdown.grace if self.shutdown is not None else 0.0
+        if pending and grace > 0:
+            finished, _ = wait(set(pending), timeout=grace)
+            for future in finished:
+                spec, _attempt, _deadline = pending.pop(future)
+                try:
+                    key, result, seconds = future.result()
+                # simlint: allow[SIM601] shutting down: the resumed run re-dispatches and accounts this attempt
+                except BaseException:
+                    continue
+                self._absorb(spec, key, result, seconds, 0, 0)
+        _terminate_pool(pool)
+        self._interrupt(signum)
+
+    # -- simulation fan-out ----------------------------------------------------
 
     def _simulate(self, specs: List[RunSpec]) -> None:
         total = len(specs)
@@ -253,7 +463,12 @@ class Executor:
         pool path.
         """
         while queue:
+            signum = self._shutdown_signal()
+            if signum is not None:
+                self._interrupt(signum)
             spec, attempt = queue.popleft()
+            if self._journal is not None:
+                self._journal.dispatched(spec.content_hash, attempt)
             try:
                 key, result, seconds = _execute_timed(
                     spec, attempt, self.faults, in_process=True
@@ -273,6 +488,7 @@ class Executor:
                 continue
             done += 1
             self._absorb(spec, key, result, seconds, done, total)
+            self._maybe_kill_orchestrator(key)
         return done
 
     # -- pool execution -------------------------------------------------------
@@ -296,8 +512,14 @@ class Executor:
         delayed: List[Tuple[float, RunSpec, int]] = []
         done = 0
         rebuilds = 0  # consecutive pool deaths without a completed attempt
+        self._active_pool = pool
+        if self.shutdown is not None:
+            self.shutdown.add_emergency(self._emergency_kill_pool)
         try:
             while queue or pending or delayed:
+                signum = self._shutdown_signal()
+                if signum is not None:
+                    self._drain_and_stop(pool, pending, signum)
                 now = time.monotonic()
                 if delayed:
                     due = [item for item in delayed if item[0] <= now]
@@ -310,6 +532,8 @@ class Executor:
                     spec, attempt = queue.popleft()
                     deadline = (now + self.policy.timeout
                                 if self.policy.timeout is not None else None)
+                    if self._journal is not None:
+                        self._journal.dispatched(spec.content_hash, attempt)
                     try:
                         future = pool.submit(
                             _execute_timed, spec, attempt, self.faults, False
@@ -345,6 +569,7 @@ class Executor:
                         done += 1
                         rebuilds = 0
                         self._absorb(spec, key, result, seconds, done, total)
+                        self._maybe_kill_orchestrator(key, pool)
                     # Watchdog: charge and requeue attempts past deadline,
                     # then kill the pool — a hung worker cannot be cancelled.
                     now = time.monotonic()
@@ -389,12 +614,17 @@ class Executor:
                         self._simulate_serial(queue, total, done)
                         return
                     pool = ProcessPoolExecutor(max_workers=workers)
+                    self._active_pool = pool
         except BaseException:
             # Fatal exit (strict-mode exhaustion, ^C, a bug): cancel
             # queued work and kill workers rather than stranding a pool
             # whose implicit shutdown would block on in-flight futures.
             _terminate_pool(pool)
             raise
+        finally:
+            self._active_pool = None
+            if self.shutdown is not None:
+                self.shutdown.remove_emergency(self._emergency_kill_pool)
         pool.shutdown(wait=True)
 
     def _wait_timeout(
@@ -469,6 +699,10 @@ class Executor:
             kind="timeout" if timeout_like else "error",
         )
         self.telemetry.failures += 1
+        # Journal the exhaustion first: even a strict abort leaves a
+        # record, and a resumed lenient sweep can honour the hole.
+        if self._journal is not None:
+            self._journal.failed(failure)
         if self.policy.strict:
             raise SpecExhausted(failure) from exc
         print(f"executor: giving up: {failure.summary()}", file=sys.stderr)
@@ -497,6 +731,11 @@ class Executor:
             # counted) by whoever reads the entry next.
             maybe_corrupt_store_entry(self.faults, path, key, 1)
         self._record(spec, SOURCE_SIMULATED, seconds)
+        # Journal *after* the store write: a ``done`` record promises the
+        # result is re-readable, so the promise must land last.
+        if self._journal is not None:
+            self._journal.done(key, spec.benchmark, spec.mechanism,
+                               SOURCE_SIMULATED, seconds)
         self._note_progress(done, total, spec)
 
     def _record(self, spec: RunSpec, source: str, seconds: float = 0.0) -> None:

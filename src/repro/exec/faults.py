@@ -25,6 +25,18 @@ Fault kinds (grammar: comma-separated ``kind:rate`` pairs plus ``seed=N``):
 * ``corrupt-store`` — the freshly written result-store entry is
   truncated after the fact, as a torn write would leave it; exercises
   the corrupt-entry accounting and re-simulation path.
+* ``kill-orchestrator`` — the *driver* process ``os._exit``\\ s between
+  batch waves (after absorbing — storing and journaling — a freshly
+  simulated spec), exactly as an OOM kill or SIGKILL would take it
+  down; exercises the write-ahead journal and ``--resume``.  Decided
+  per absorbed spec, so every resumed run is guaranteed to make
+  progress before it can be killed again.  Driver-side only: worker
+  processes never consult it.
+* ``corrupt-journal`` — the just-appended journal line is torn (its
+  tail dropped), as a crash mid-``write`` would leave it; exercises
+  the journal's corruption-tolerant replay.  Decided per (record kind,
+  spec, append sequence number), so a re-appended record after resume
+  lands on a fresh schedule slot.
 
 Like :mod:`repro.sanitize`, the environment variable is read **once, at
 import**: worker processes inherit the environment (and, under the
@@ -48,7 +60,12 @@ from typing import Optional
 FAULTS_ENV = "REPRO_FAULTS"
 
 #: Recognised fault kinds, in the order they are checked per attempt.
-FAULT_KINDS = ("die", "hang", "crash", "corrupt-store")
+FAULT_KINDS = ("die", "hang", "crash", "corrupt-store",
+               "kill-orchestrator", "corrupt-journal")
+
+#: Exit code of an injected orchestrator kill (EX_TEMPFAIL: rerunnable,
+#: distinct from the watchdog's 70 and the signal exits 130/143).
+KILL_ORCHESTRATOR_EXIT = 75
 
 
 class InjectedCrash(RuntimeError):
@@ -79,6 +96,8 @@ class FaultPlan:
     hang: float = 0.0
     die: float = 0.0
     corrupt_store: float = 0.0
+    kill_orchestrator: float = 0.0
+    corrupt_journal: float = 0.0
     seed: int = 0
     #: How long an injected hang sleeps in a pool worker; far beyond any
     #: reasonable ``--timeout`` so the watchdog always wins.
@@ -86,8 +105,7 @@ class FaultPlan:
 
     @property
     def armed(self) -> bool:
-        return (self.crash > 0 or self.hang > 0 or self.die > 0
-                or self.corrupt_store > 0)
+        return any(self._rate(kind) > 0 for kind in FAULT_KINDS)
 
     def _rate(self, kind: str) -> float:
         return {
@@ -95,6 +113,8 @@ class FaultPlan:
             "hang": self.hang,
             "die": self.die,
             "corrupt-store": self.corrupt_store,
+            "kill-orchestrator": self.kill_orchestrator,
+            "corrupt-journal": self.corrupt_journal,
         }[kind]
 
     def decide(self, kind: str, spec_hash: str, attempt: int) -> bool:
@@ -162,6 +182,8 @@ def parse_fault_spec(text: str) -> Optional[FaultPlan]:
         hang=rates["hang"],
         die=rates["die"],
         corrupt_store=rates["corrupt-store"],
+        kill_orchestrator=rates["kill-orchestrator"],
+        corrupt_journal=rates["corrupt-journal"],
         seed=seed,
     )
 
@@ -233,6 +255,54 @@ def maybe_corrupt_store_entry(
     try:
         text = path.read_text("utf-8")
         path.write_text(text[: max(1, len(text) // 3)], "utf-8")
+    except OSError:
+        return False
+    return True
+
+
+def should_kill_orchestrator(
+    plan: Optional[FaultPlan], spec_hash: str,
+) -> bool:
+    """Whether the driver dies after absorbing ``spec_hash``.
+
+    Only the *decision* lives here; the executor performs the exit so
+    it can terminate a live process pool first.  Keyed on the absorbed
+    spec's hash (attempt 1): once the spec is journaled ``done`` a
+    resumed run serves it without re-absorbing, so the same kill can
+    never fire twice and every resume makes progress — the chaos loop
+    in CI provably converges on ``sweep-complete``.
+    """
+    if plan is None:
+        return False
+    return plan.decide("kill-orchestrator", spec_hash, 1)
+
+
+def maybe_corrupt_journal_line(
+    plan: Optional[FaultPlan], path: Path, key: str, seq: int,
+    line_length: int,
+) -> bool:
+    """Tear the journal line just appended, when the schedule says so.
+
+    Drops the tail of the final line (as a crash mid-``write`` would)
+    but terminates what remains with a newline, so the reader skips
+    exactly one corrupt record and later appends stay parseable.
+    ``seq`` is the file's append sequence number: a record re-appended
+    after a resume lands on a different slot, so deterministic
+    corruption cannot pin one spec's ``done`` record forever.
+    """
+    if plan is None or not plan.decide("corrupt-journal", key, seq):
+        return False
+    try:
+        with open(path, "r+b") as handle:
+            handle.seek(0, os.SEEK_END)
+            end = handle.tell()
+            # The line plus its newline occupy the file's tail; keep
+            # roughly half the line, then re-terminate it.
+            handle.truncate(max(0, end - 1 - line_length // 2))
+            handle.seek(0, os.SEEK_END)
+            handle.write(b"\n")
+            handle.flush()
+            os.fsync(handle.fileno())
     except OSError:
         return False
     return True

@@ -19,16 +19,27 @@ the payload is written to a same-directory temp file, flushed and
 killed mid-write can never leave a truncated entry under a real hash —
 only a stray ``*.tmp`` file, which reads ignore and
 :meth:`ResultStore.put` sweeps up on the next write.
+
+Integrity: every v3 entry embeds a SHA-256 of its result payload,
+verified on :meth:`ResultStore.get` — bit rot that still parses as
+JSON (a flipped digit in an IPC) is caught, counted and re-simulated
+instead of silently polluting every downstream exhibit.  v2 entries
+(predating the checksum) remain readable so a version bump never
+invalidates a warm cache.  ``python -m repro.exec fsck`` runs the same
+verification offline over the whole store (:meth:`ResultStore.fsck`),
+optionally pruning what fails it.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import json
 import os
 import sys
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Optional, Union
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.core.simulation import RunResult
 from repro.exec.runspec import RunSpec
@@ -36,7 +47,20 @@ from repro.exec.runspec import RunSpec
 #: Bump when the stored payload layout (or RunResult schema) changes;
 #: older entries then read as misses instead of crashing deserialisation.
 #: 2: RunResult.stats gained the hierarchy's bus counters (finalize_stats).
-STORE_VERSION = 2
+#: 3: entries embed a SHA-256 checksum of the result payload, verified
+#:    on read; v2 entries stay readable (no checksum to verify).
+STORE_VERSION = 3
+
+#: Versions :meth:`ResultStore.get` accepts.  v2 entries carry no
+#: checksum; everything else about their payload is identical.
+COMPAT_VERSIONS = (2, STORE_VERSION)
+
+
+def result_checksum(result_payload: Dict[str, Any]) -> str:
+    """SHA-256 over the canonical JSON serialisation of one result."""
+    canonical = json.dumps(result_payload, sort_keys=True,
+                           separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
 def _pid_alive(pid: int) -> bool:
@@ -52,12 +76,84 @@ def _pid_alive(pid: int) -> bool:
     return True
 
 
+def _verify_payload(payload: Any) -> Optional[str]:
+    """Why a parsed entry payload is unusable, or None when it is sound.
+
+    Checks shape, version compatibility and — for v3 entries — the
+    embedded result checksum.  Shared by the hot read path
+    (:meth:`ResultStore.get`) and the offline verifier
+    (:meth:`ResultStore.fsck`) so they can never disagree about what
+    "corrupt" means.
+    """
+    if not isinstance(payload, dict):
+        return "payload is not an object"
+    version = payload.get("version")
+    if version not in COMPAT_VERSIONS:
+        return f"version mismatch (entry {version!r}, want {STORE_VERSION})"
+    result = payload.get("result")
+    if not isinstance(result, dict):
+        return "missing result payload"
+    if version == STORE_VERSION:
+        checksum = payload.get("checksum")
+        if not checksum:
+            return "missing checksum"
+        if checksum != result_checksum(result):
+            return "checksum mismatch (bit rot or a hand-edited payload)"
+    return None
+
+
 def default_cache_dir() -> Path:
     """``$REPRO_CACHE_DIR`` when set, else ``~/.cache/repro``."""
     env = os.environ.get("REPRO_CACHE_DIR")
     if env:
         return Path(env).expanduser()
     return Path.home() / ".cache" / "repro"
+
+
+@dataclass
+class FsckReport:
+    """What ``ResultStore.fsck`` found (and, under prune, removed)."""
+
+    root: str = ""
+    scanned: int = 0
+    ok: int = 0
+    ok_legacy: int = 0          # readable v2 entries (no checksum to verify)
+    #: (file name, why it is unusable) per defective entry.
+    problems: List[Tuple[str, str]] = field(default_factory=list)
+    stale_temps: List[str] = field(default_factory=list)
+    pruned: List[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        """No defective entries (stale temps are litter, not defects)."""
+        return not self.problems
+
+    def describe(self) -> Dict[str, Any]:
+        """JSON-ready summary, journaled as the fsck repair report."""
+        return {
+            "root": self.root,
+            "scanned": self.scanned,
+            "ok": self.ok,
+            "ok_legacy": self.ok_legacy,
+            "problems": [list(item) for item in self.problems],
+            "stale_temps": list(self.stale_temps),
+            "pruned": list(self.pruned),
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"fsck {self.root}: {self.scanned} entries, {self.ok} ok"
+            + (f" ({self.ok_legacy} legacy v2)" if self.ok_legacy else ""),
+        ]
+        for name, why in self.problems:
+            lines.append(f"  BAD  {name}: {why}")
+        for name in self.stale_temps:
+            lines.append(f"  TMP  {name}: stale temp from a dead writer")
+        for name in self.pruned:
+            lines.append(f"  pruned {name}")
+        if self.clean and not self.stale_temps:
+            lines.append("  store is clean")
+        return "\n".join(lines)
 
 
 class ResultStore:
@@ -72,6 +168,12 @@ class ResultStore:
 
     def path_for(self, spec: RunSpec) -> Path:
         return self.root / f"{spec.content_hash}.json"
+
+    @property
+    def journal_dir(self) -> Path:
+        """Where this store's sweep journals live (a sibling subdir,
+        invisible to the ``*.json`` entry glob)."""
+        return self.root / "journal"
 
     def get(self, spec: RunSpec) -> Optional[RunResult]:
         """The stored result for ``spec``, or None on any defect.
@@ -92,11 +194,9 @@ class ResultStore:
             payload = json.loads(text)
         except ValueError:
             return self._defective(path, "not valid JSON (truncated or corrupt)")
-        if not isinstance(payload, dict) or payload.get("version") != STORE_VERSION:
-            found = payload.get("version") if isinstance(payload, dict) else None
-            return self._defective(
-                path, f"version mismatch (entry {found!r}, want {STORE_VERSION})"
-            )
+        problem = _verify_payload(payload)
+        if problem is not None:
+            return self._defective(path, problem)
         try:
             return RunResult(**payload["result"])
         except (KeyError, TypeError):
@@ -113,10 +213,12 @@ class ResultStore:
         """Atomically and durably persist ``result`` under ``spec``'s hash."""
         self.root.mkdir(parents=True, exist_ok=True)
         path = self.path_for(spec)
+        result_payload = dataclasses.asdict(result)
         payload = {
             "version": STORE_VERSION,
             "spec": spec.describe(),
-            "result": dataclasses.asdict(result),
+            "result": result_payload,
+            "checksum": result_checksum(result_payload),
         }
         tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
         try:
@@ -164,3 +266,88 @@ class ResultStore:
             return sum(1 for _ in self.root.glob("*.json"))
         except OSError:
             return 0
+
+    # -- offline verification --------------------------------------------------
+
+    def verify_entry(self, path: Path) -> Optional[str]:
+        """Why the entry at ``path`` is unusable, or None when sound.
+
+        Runs every check :meth:`get` runs — parse, version, checksum,
+        result schema — plus one only an offline pass can afford: the
+        file name must equal the content hash of the spec description
+        it carries, so a renamed or cross-copied entry (which would
+        serve the wrong result under ``get``'s addressing) is caught.
+        """
+        try:
+            text = path.read_text("utf-8")
+        except OSError as exc:
+            return f"unreadable: {exc}"
+        try:
+            payload = json.loads(text)
+        except ValueError:
+            return "not valid JSON (truncated or corrupt)"
+        problem = _verify_payload(payload)
+        if problem is not None:
+            return problem
+        try:
+            RunResult(**payload["result"])
+        except (KeyError, TypeError):
+            return "schema drift or hand-edited payload"
+        spec_payload = payload.get("spec")
+        if isinstance(spec_payload, dict):
+            canonical = json.dumps(spec_payload, sort_keys=True,
+                                   separators=(",", ":"))
+            expected = hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+            if path.stem != expected:
+                return (f"entry is filed under {path.stem[:12]}… but its "
+                        f"spec hashes to {expected[:12]}… (renamed or "
+                        "cross-copied entry)")
+        return None
+
+    def fsck(self, prune: bool = False) -> FsckReport:
+        """Scan and verify every entry; with ``prune``, remove failures.
+
+        Never raises for a defective store — the report carries what
+        was wrong (and what was removed) so callers can journal it.
+        """
+        report = FsckReport(root=str(self.root))
+        try:
+            entries = sorted(self.root.glob("*.json"))
+            temps = sorted(self.root.glob(".*.tmp"))
+        except OSError:
+            return report
+        for path in entries:
+            report.scanned += 1
+            problem = self.verify_entry(path)
+            if problem is None:
+                report.ok += 1
+                try:
+                    if json.loads(path.read_text("utf-8")).get(
+                            "version") != STORE_VERSION:
+                        report.ok_legacy += 1
+                # simlint: allow[SIM601] verified readable just above; a race here only misses the legacy tally
+                except (OSError, ValueError):
+                    pass
+                continue
+            report.problems.append((path.name, problem))
+            if prune:
+                try:
+                    path.unlink()
+                    report.pruned.append(path.name)
+                except OSError as exc:
+                    report.problems.append(
+                        (path.name, f"prune failed: {exc}")
+                    )
+        for stray in temps:
+            pid_part = stray.name.rsplit(".", 2)[-2]
+            if pid_part.isdigit() and _pid_alive(int(pid_part)):
+                continue  # a live writer is about to rename it
+            report.stale_temps.append(stray.name)
+            if prune:
+                try:
+                    stray.unlink()
+                    report.pruned.append(stray.name)
+                # simlint: allow[SIM601] losing a race to delete garbage is harmless
+                except OSError:
+                    pass
+        return report

@@ -16,6 +16,7 @@ SOURCE_SIMULATED = "simulated"
 SOURCE_MEMO = "memo"
 SOURCE_STORE = "store"
 SOURCE_FAILED = "failed"   # every attempt failed; resolved to a FailedRun
+SOURCE_JOURNAL = "journal"  # --resume served it from the sweep journal
 
 
 @dataclass(frozen=True)
@@ -76,6 +77,14 @@ class Telemetry:
     @property
     def failed(self) -> int:
         return self._count(SOURCE_FAILED)
+
+    @property
+    def journal_served(self) -> int:
+        """Specs a resumed run answered from the sweep journal — a
+        finished result re-read from the store without re-dispatch, or
+        a persisted FailedRun hole served instead of re-running an
+        exhausted spec."""
+        return self._count(SOURCE_JOURNAL)
 
     @property
     def cache_hits(self) -> int:

@@ -14,6 +14,15 @@ Conventions
   feeds Figures 5-7 and Tables 6-7) pay for each cell once.
 * Results carry structured ``rows`` plus a ``render()`` producing the
   paper-style text table.
+* Durability comes free with the executor: because drivers submit
+  declarative spec batches (never imperative loops of simulator calls),
+  every multi-spec exhibit is automatically backed by the write-ahead
+  sweep journal when the CLI configures one — a killed ``fig4`` resumes
+  with ``--resume`` and renders the identical table, with the finished
+  cells served from the journal + store instead of re-simulated.
+  Drivers need no code for this and must not add any: resumption is the
+  executor's job, and a driver that caches or checkpoints on the side
+  would fork the single source of truth the journal provides.
 """
 
 from __future__ import annotations

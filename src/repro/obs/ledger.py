@@ -12,11 +12,14 @@ between any two entries.
 
 File format
 -----------
-One JSON object per line (JSON Lines), append-only.  Appends are a
-single ``write`` + ``fsync`` of one line, so concurrent writers cannot
-interleave partial records and a killed process corrupts at most its
-own last line.  Reads skip lines that fail to parse — a corrupt entry
-costs one record, never the ledger.
+One JSON object per line (JSON Lines), append-only.  Appends take an
+advisory ``flock`` (where the platform provides one) and are a single
+``write`` + ``fsync`` of one line, so concurrent writers — parallel CI
+shards, a chaos loop resuming while a benchmark finishes — serialise
+cleanly instead of relying on the kernel's append atomicity, and a
+killed process corrupts at most its own last line.  Reads skip lines
+that fail to parse — a corrupt entry costs one record, never the
+ledger.
 """
 
 from __future__ import annotations
@@ -28,6 +31,11 @@ import os
 import platform
 import resource
 import sys
+
+try:
+    import fcntl
+except ImportError:  # non-POSIX: appends fall back to O_APPEND atomicity
+    fcntl = None  # type: ignore[assignment]
 from dataclasses import dataclass, field
 from datetime import datetime, timezone
 from pathlib import Path
@@ -139,13 +147,25 @@ class Ledger:
     # -- writing --------------------------------------------------------------
 
     def append(self, record: LedgerRecord) -> LedgerRecord:
-        """Durably append one record as a single line."""
+        """Durably append one record as a single line.
+
+        The advisory lock is held only for the write+fsync of this one
+        line: concurrent appenders queue for milliseconds, and a writer
+        killed while holding it releases the lock with its file handle.
+        """
         self.path.parent.mkdir(parents=True, exist_ok=True)
         line = json.dumps(dataclasses.asdict(record), sort_keys=True)
+        assert "\n" not in line  # one record is always exactly one line
         with open(self.path, "a", encoding="utf-8") as handle:
-            handle.write(line + "\n")
-            handle.flush()
-            os.fsync(handle.fileno())
+            if fcntl is not None:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+            try:
+                handle.write(line + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            finally:
+                if fcntl is not None:
+                    fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
         return record
 
     # -- reading --------------------------------------------------------------

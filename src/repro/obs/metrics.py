@@ -214,6 +214,9 @@ EXECUTOR_SERIES = (
     # fault tolerance (see repro.exec.policy / repro.exec.faults)
     "executor.retries", "executor.failures", "executor.timeouts",
     "executor.pool_rebuilds", "executor.store_corrupt",
+    # durability (see repro.exec.journal): specs a resumed run served
+    # from the write-ahead sweep journal instead of re-dispatching
+    "executor.journal_served",
 )
 
 
@@ -240,6 +243,7 @@ def harvest_executor(telemetry: Any,
         "executor.timeouts": getattr(telemetry, "timeouts", 0),
         "executor.pool_rebuilds": getattr(telemetry, "pool_rebuilds", 0),
         "executor.store_corrupt": getattr(telemetry, "store_corrupt", 0),
+        "executor.journal_served": getattr(telemetry, "journal_served", 0),
     }
     for name in EXECUTOR_SERIES:
         unit = "seconds" if name.endswith("seconds") else "count"
@@ -280,6 +284,7 @@ def executor_summary_line(telemetry: Any,
     if simulated:
         parts.append(f"avg {sim_seconds / simulated:.3f}s/sim")
     for name, noun in (
+        ("executor.journal_served", "journal-served"),
         ("executor.retries", "retries"),
         ("executor.timeouts", "timeouts"),
         ("executor.pool_rebuilds", "pool rebuilds"),

@@ -1,0 +1,22 @@
+"""Known-bad: sim-path code that traps the operator's interrupt.
+
+Since the graceful-shutdown work, SIGINT/SIGTERM are *requests*: the
+executor drains in-flight attempts, flushes the write-ahead journal
+and exits ``128 + signum`` so the sweep can be resumed.  A handler
+that catches ``KeyboardInterrupt`` and carries on skips all of that —
+the journal never records the stop, ``--resume`` has nothing to serve,
+and the operator's only remaining exit is a forced kill that loses the
+drain.  SIM602 flags it.
+"""
+
+
+def run_all(specs, simulate):
+    results = []
+    for spec in specs:
+        try:
+            results.append(simulate(spec))
+        except KeyboardInterrupt:
+            # "Finish what we can" — which unjournals the stop and
+            # turns Ctrl-C into a no-op until the user force-kills us.
+            results.append(None)
+    return results

@@ -43,6 +43,7 @@ FIXTURE_RULES = {
     "orphan_stat.py": "SIM501",
     "fstring_span.py": "SIM502",
     "swallowed_exception.py": "SIM601",
+    "trapped_interrupt.py": "SIM602",
 }
 
 

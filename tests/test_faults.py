@@ -577,10 +577,11 @@ def _cli_env(tmp_path, faults=None, ledger=None):
     env["PYTHONPATH"] = str(REPO / "src")
     env.pop("REPRO_FAULTS", None)
     env["REPRO_CACHE_DIR"] = str(tmp_path / ("cache-" + (faults or "clean")))
+    # Armed fault plans auto-append to the ledger; keep test litter out
+    # of the repo-root BENCH_obs.json.
+    env["REPRO_LEDGER"] = str(ledger or tmp_path / "scratch-ledger.json")
     if faults:
         env["REPRO_FAULTS"] = faults
-    if ledger:
-        env["REPRO_LEDGER"] = str(ledger)
     return env
 
 
