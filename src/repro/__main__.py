@@ -111,8 +111,10 @@ def _cmd_list() -> int:
 
 
 def _cmd_run(args, executor: Executor) -> int:
-    base_spec = RunSpec(args.benchmark, n_instructions=args.n)
-    mech_spec = RunSpec(args.benchmark, args.mechanism, n_instructions=args.n)
+    base_spec = RunSpec(args.benchmark, n_instructions=args.n, fast=args.fast)
+    mech_spec = RunSpec(
+        args.benchmark, args.mechanism, n_instructions=args.n, fast=args.fast
+    )
     base, result = executor.run([base_spec, mech_spec])
     failed = [r for r in (base, result) if isinstance(r, FailedRun)]
     if failed:
@@ -196,6 +198,39 @@ def _append_ledger_entry(command: str, executor: Executor) -> None:
     Ledger().append(record)
 
 
+def _arm_profiling(args):
+    """Apply ``--profile``: cProfile the command, report to stderr.
+
+    Like ``--trace``, a profile is only meaningful for work done in this
+    process with nothing served from the cache, so ``--jobs 1`` and
+    ``--no-cache`` are forced (with a note when that overrides an
+    explicit flag).  Returns the armed profiler.
+    """
+    import cProfile
+
+    if args.jobs not in (None, 1):
+        print(f"--profile forces --jobs 1 (was {args.jobs})", file=sys.stderr)
+    if not args.no_cache:
+        print("--profile forces --no-cache (profiled runs must simulate)",
+              file=sys.stderr)
+    args.jobs = 1
+    args.no_cache = True
+    profiler = cProfile.Profile()
+    profiler.enable()
+    return profiler
+
+
+def _report_profile(profiler) -> None:
+    """Print the top 25 functions by cumulative time to stderr."""
+    import pstats
+
+    profiler.disable()
+    stats = pstats.Stats(profiler, stream=sys.stderr)
+    stats.strip_dirs().sort_stats("cumulative")
+    print("profile: top 25 functions by cumulative time", file=sys.stderr)
+    stats.print_stats(25)
+
+
 def _arm_tracing(args) -> None:
     """Apply ``--trace``: in-process, uncached, tracer recording.
 
@@ -270,11 +305,23 @@ def main(argv=None) -> int:
     parser.add_argument("--trace", metavar="OUT.json", default=None,
                         help="record a Chrome trace_event timeline of the "
                              "run to OUT.json (forces --jobs 1 --no-cache)")
+    parser.add_argument("--profile", action="store_true",
+                        help="cProfile the command and print the top 25 "
+                             "cumulative-time functions to stderr (forces "
+                             "--jobs 1 --no-cache)")
+    parser.add_argument("--no-fast", dest="fast", action="store_false",
+                        default=True,
+                        help="run on the interpreted reference loop instead "
+                             "of the trace-speculation fast path ('run' "
+                             "only; results are bit-identical either way)")
     args = parser.parse_args(argv)
 
     if args.command == "list":
         return _cmd_list()
 
+    profiler = None
+    if args.profile:
+        profiler = _arm_profiling(args)
     if args.trace:
         _arm_tracing(args)
     if args.resume and args.no_cache:
@@ -326,6 +373,8 @@ def main(argv=None) -> int:
         SHUTDOWN.reset()
         if args.trace:
             _export_trace(args)
+        if profiler is not None:
+            _report_profile(profiler)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

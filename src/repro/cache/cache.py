@@ -20,6 +20,18 @@ the cache invokes its hooks at well-defined points: ``probe`` on a miss
 ``on_miss`` after a genuine miss, ``on_refill`` when a fill completes (with
 the victim, for correlation learners), ``on_evict`` when a victim is
 discarded (return ``True`` to capture the line and its writeback duty).
+
+Tag-store layout
+----------------
+Line metadata lives in four flat parallel lists indexed by
+``set * assoc + way`` — ``_tags`` (block number, ``-1`` invalid),
+``_ready``, ``_touch`` and ``_flags`` (bit 0 dirty, bit 1 prefetched) —
+instead of per-line objects.  Within a set's slice, valid ways are packed
+at the front in MRU→LRU order, so the hit scan is one C-level
+``list.index`` over the slice and an LRU promotion is a slice rotation.
+:class:`CacheLine` is a write-through *view* of one slot, which keeps the
+``peek``/``access``/``insert_prefetch``/``evict_block`` API (and every
+mechanism built on it) unchanged.
 """
 
 from __future__ import annotations
@@ -34,19 +46,77 @@ from repro.cache.mshr import MSHRFile
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.mechanisms.base import Mechanism
 
+#: ``_flags`` bits.
+DIRTY = 1
+PREFETCHED = 2
+
+#: ``_tags`` sentinel for an empty way.
+INVALID = -1
+
 
 class CacheLine:
-    """One resident line.  ``ready`` > now means the fill is still in flight."""
+    """Write-through view of one resident line in the flat tag store.
 
-    __slots__ = ("tag", "dirty", "prefetched", "ready", "last_touch", "birth")
+    ``ready`` > now means the fill is still in flight.  The view reads and
+    writes the cache's parallel metadata lists directly, so mechanisms that
+    mutate a peeked line (e.g. eager writeback clearing ``dirty``) behave
+    exactly as they did with per-line objects.  Views are positional: use
+    them promptly, before another access reorders the set.
+    """
 
-    def __init__(self, tag: int, ready: int, prefetched: bool = False):
-        self.tag = tag
-        self.dirty = False
-        self.prefetched = prefetched
-        self.ready = ready
-        self.last_touch = ready
-        self.birth = ready
+    __slots__ = ("_cache", "_slot")
+
+    def __init__(self, cache: "Cache", slot: int) -> None:
+        self._cache = cache
+        self._slot = slot
+
+    @property
+    def tag(self) -> int:
+        return self._cache._tags[self._slot]
+
+    @property
+    def ready(self) -> int:
+        return self._cache._ready[self._slot]
+
+    @ready.setter
+    def ready(self, value: int) -> None:
+        self._cache._ready[self._slot] = value
+
+    @property
+    def last_touch(self) -> int:
+        return self._cache._touch[self._slot]
+
+    @last_touch.setter
+    def last_touch(self, value: int) -> None:
+        self._cache._touch[self._slot] = value
+
+    @property
+    def dirty(self) -> bool:
+        return bool(self._cache._flags[self._slot] & DIRTY)
+
+    @dirty.setter
+    def dirty(self, value: bool) -> None:
+        flags = self._cache._flags
+        if value:
+            flags[self._slot] |= DIRTY
+        else:
+            flags[self._slot] &= ~DIRTY
+
+    @property
+    def prefetched(self) -> bool:
+        return bool(self._cache._flags[self._slot] & PREFETCHED)
+
+    @prefetched.setter
+    def prefetched(self, value: bool) -> None:
+        flags = self._cache._flags
+        if value:
+            flags[self._slot] |= PREFETCHED
+        else:
+            flags[self._slot] &= ~PREFETCHED
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<CacheLine tag={self.tag} ready={self.ready} "
+                f"dirty={self.dirty} prefetched={self.prefetched}>")
 
 
 # Fetch callback signature: (byte_addr, time, pc, is_prefetch) -> ready time.
@@ -74,8 +144,13 @@ class Cache(Component):
             raise ValueError(f"line size must be a power of two, got {line}")
         self.line_bits = line.bit_length() - 1
         self.n_sets = config.n_sets
+        self.assoc = config.assoc
         self._set_mask = self.n_sets - 1
-        self._sets: List[List[CacheLine]] = [[] for _ in range(self.n_sets)]
+        n_slots = self.n_sets * self.assoc
+        self._tags: List[int] = [INVALID] * n_slots
+        self._ready: List[int] = [0] * n_slots
+        self._touch: List[int] = [0] * n_slots
+        self._flags: List[int] = [0] * n_slots
         self.ports = MultiPortResource(config.ports)
         self.pipeline = PipelinedResource(1)
         mshr_capacity = None if infinite_mshr else config.mshr_entries
@@ -112,17 +187,23 @@ class Cache(Component):
 
     # -- lookup without side effects ------------------------------------------
 
+    def _find(self, block: int) -> int:
+        """Slot index of ``block``'s line, or -1 when not resident."""
+        base = (block & self._set_mask) * self.assoc
+        try:
+            return self._tags.index(block, base, base + self.assoc)
+        except ValueError:
+            return -1
+
     def peek(self, addr: int) -> Optional[CacheLine]:
         """Return the resident line for ``addr`` without touching LRU state."""
-        block = self.block_of(addr)
-        tag = block >> 0
-        for line in self._sets[self._set_index(block)]:
-            if line.tag == tag:
-                return line
-        return None
+        slot = self._find(addr >> self.line_bits)
+        if slot < 0:
+            return None
+        return CacheLine(self, slot)
 
     def contains(self, addr: int) -> bool:
-        return self.peek(addr) is not None
+        return self._find(addr >> self.line_bits) >= 0
 
     def in_flight(self, addr: int, time: int) -> bool:
         """True when a fill for ``addr``'s block is pending in the MSHR."""
@@ -138,52 +219,71 @@ class Cache(Component):
         For writes the returned time is when the line is owned and dirty;
         the core does not wait on it (write buffer) but the traffic is real.
         """
-        block = self.block_of(addr)
-        set_idx = self._set_index(block)
+        block = addr >> self.line_bits
+        assoc = self.assoc
+        base = (block & self._set_mask) * assoc
         if self.precise:
             t = self.pipeline.acquire(time)
             t = self.ports.acquire(t)
         else:
             t = self.ports.acquire(time)
         if is_write:
-            self.st_writes.add()
+            self.st_writes.value += 1
         else:
-            self.st_reads.add()
+            self.st_reads.value += 1
 
-        lines = self._sets[set_idx]
+        tags = self._tags
         # Instruction-side traffic (pc == -1) shares the unified L2 but is
         # invisible to the attached *data*-cache mechanism, as in the
         # original study's wrappers.
         mech = self.mechanism if pc != -1 else None
-        for i, line in enumerate(lines):
-            if line.tag == block:
-                if i:
-                    del lines[i]
-                    lines.insert(0, line)
-                was_prefetched = line.prefetched
-                if was_prefetched:
-                    line.prefetched = False
-                    self.st_useful_prefetches.add()
-                line.last_touch = t
-                if is_write:
-                    line.dirty = True
-                ready = t + self.config.latency
-                if line.ready > ready:
-                    ready = line.ready
-                if mech is not None:
-                    mech.on_access(pc, block, True, was_prefetched, t)
-                return ready
+        try:
+            slot = tags.index(block, base, base + assoc)
+        except ValueError:
+            slot = -1
+        if slot >= 0:
+            ready_arr = self._ready
+            touch = self._touch
+            flags = self._flags
+            if slot != base:
+                # Promote to MRU: rotate the set's slice one slot right.
+                line_ready = ready_arr[slot]
+                line_flags = flags[slot]
+                tags[base + 1:slot + 1] = tags[base:slot]
+                tags[base] = block
+                ready_arr[base + 1:slot + 1] = ready_arr[base:slot]
+                ready_arr[base] = line_ready
+                touch[base + 1:slot + 1] = touch[base:slot]
+                flags[base + 1:slot + 1] = flags[base:slot]
+                flags[base] = line_flags
+            else:
+                line_ready = ready_arr[base]
+                line_flags = flags[base]
+            was_prefetched = line_flags & PREFETCHED
+            if was_prefetched:
+                line_flags &= ~PREFETCHED
+                self.st_useful_prefetches.value += 1
+            if is_write:
+                line_flags |= DIRTY
+            flags[base] = line_flags
+            touch[base] = t
+            ready = t + self.config.latency
+            if line_ready > ready:
+                ready = line_ready
+            if mech is not None:
+                mech.on_access(pc, block, True, bool(was_prefetched), t)
+            return ready
 
         # Miss.  Give the mechanism's side structure a chance first.
         if is_write:
-            self.st_write_misses.add()
+            self.st_write_misses.value += 1
         else:
-            self.st_read_misses.add()
+            self.st_read_misses.value += 1
         if mech is not None:
             mech.on_access(pc, block, False, False, t)
             probe = mech.probe(block, t)
             if probe is not None:
-                self.st_aux_hits.add()
+                self.st_aux_hits.value += 1
                 ready = t + self.config.latency + probe.latency
                 line = self._install(block, ready, t, prefetched=False)
                 line.dirty = probe.dirty or is_write
@@ -199,9 +299,10 @@ class Cache(Component):
                 self.pipeline.stall_until(merged_ready)
             ready = max(merged_ready, t + self.config.latency)
             # The merged read sees the line once filled; mark dirty on write.
-            filled = self.peek(addr)
-            if filled is not None and is_write:
-                filled.dirty = True
+            if is_write:
+                filled = self._find(block)
+                if filled >= 0:
+                    self._flags[filled] |= DIRTY
             return ready
 
         # Genuine miss: allocate an MSHR (may stall when full) and fetch.
@@ -215,7 +316,7 @@ class Cache(Component):
         if self.fetch_next is None:
             raise RuntimeError(f"{self.path}: no next level bound")
         fill_ready = self.fetch_next(
-            self.addr_of(block), alloc_t + self.config.latency, pc, False
+            block << self.line_bits, alloc_t + self.config.latency, pc, False
         )
         self.mshr.insert(block, fill_ready)
         if pc == -1:
@@ -252,48 +353,69 @@ class Cache(Component):
         infinite MSHR, prefetches are never dropped — one of the ways the
         imprecise model flatters prefetchers, Figure 9.)
         """
-        block = self.block_of(addr)
-        for line in self._sets[self._set_index(block)]:
-            if line.tag == block:
-                return False
+        block = addr >> self.line_bits
+        if self._find(block) >= 0:
+            return False
         if (
             self.mshr.capacity is not None
             and self.mshr.occupancy(time) >= self.mshr.capacity
         ):
             return False
         self.mshr.insert(block, ready)
-        self.st_prefetch_fills.add()
+        self.st_prefetch_fills.value += 1
         self._install(block, ready, time, prefetched=True)
         return True
 
     def _install(self, block: int, ready: int, time: int, prefetched: bool) -> CacheLine:
         """Insert ``block`` at MRU, evicting the LRU victim if needed."""
-        set_idx = self._set_index(block)
-        lines = self._sets[set_idx]
+        assoc = self.assoc
+        base = (block & self._set_mask) * assoc
+        limit = base + assoc
+        last = limit - 1
+        tags = self._tags
+        ready_arr = self._ready
+        touch = self._touch
+        flags = self._flags
         victim_block = None
         mechanism = None if self._mech_suspended else self.mechanism
-        if len(lines) >= self.config.assoc:
-            victim = lines.pop()
-            victim_block = victim.tag
-            self.st_evictions.add()
+        if tags[last] != INVALID:
+            # Set full: the LRU way (packed last) is the victim.  Remove it
+            # before the hooks run, exactly as the list model popped it.
+            victim_tag = tags[last]
+            victim_dirty = flags[last] & DIRTY
+            victim_touch = touch[last]
+            tags[last] = INVALID
+            end = last
+            victim_block = victim_tag
+            self.st_evictions.value += 1
             captured = False
             if mechanism is not None:
-                live = (ready - victim.last_touch) < self._liveness_window()
+                live = (ready - victim_touch) < self._liveness_window()
                 captured = mechanism.on_evict(
-                    victim.tag, victim.dirty, live, ready
+                    victim_tag, bool(victim_dirty), live, ready
                 )
-            if victim.dirty and not captured:
-                self.st_writebacks.add()
+            if victim_dirty and not captured:
+                self.st_writebacks.value += 1
                 if self.writeback_next is not None:
-                    self.writeback_next(self.addr_of(victim.tag), ready)
+                    self.writeback_next(victim_tag << self.line_bits, ready)
+        else:
+            end = tags.index(INVALID, base, limit)
         if self.precise:
             # The refill consumes a real port cycle when it arrives.
             self.ports.acquire(ready)
-        line = CacheLine(block, ready, prefetched)
-        lines.insert(0, line)
+        if end != base:
+            # Shift the set's valid ways one slot toward LRU.
+            tags[base + 1:end + 1] = tags[base:end]
+            ready_arr[base + 1:end + 1] = ready_arr[base:end]
+            touch[base + 1:end + 1] = touch[base:end]
+            flags[base + 1:end + 1] = flags[base:end]
+        tags[base] = block
+        ready_arr[base] = ready
+        touch[base] = ready
+        flags[base] = PREFETCHED if prefetched else 0
         if mechanism is not None:
             mechanism.on_refill(block, victim_block, ready, prefetched)
-        return line
+        return CacheLine(self, base)
 
     def _liveness_window(self) -> int:
         """Window (cycles) within which an evicted line counts as "live"."""
@@ -301,41 +423,60 @@ class Cache(Component):
 
     # -- maintenance -----------------------------------------------------------
 
+    def _remove(self, slot: int) -> None:
+        """Drop the line at ``slot``, keeping the set's valid ways packed."""
+        assoc = self.assoc
+        limit = (slot // assoc) * assoc + assoc
+        last = limit - 1
+        for arr in (self._tags, self._ready, self._touch, self._flags):
+            arr[slot:last] = arr[slot + 1:limit]
+        self._tags[last] = INVALID
+        self._flags[last] = 0
+
     def evict_block(self, block: int, time: int) -> bool:
         """Evict ``block`` now (with writeback if dirty); True if resident.
 
         Used by timekeeping-style mechanisms that reclaim a predicted-dead
         line's frame for a prefetch instead of displacing a live LRU victim.
         """
-        lines = self._sets[self._set_index(block)]
-        for i, line in enumerate(lines):
-            if line.tag == block:
-                del lines[i]
-                self.st_evictions.add()
-                captured = False
-                if self.mechanism is not None:
-                    captured = self.mechanism.on_evict(
-                        block, line.dirty, False, time
-                    )
-                if line.dirty and not captured:
-                    self.st_writebacks.add()
-                    if self.writeback_next is not None:
-                        self.writeback_next(self.addr_of(block), time)
-                return True
-        return False
+        slot = self._find(block)
+        if slot < 0:
+            return False
+        dirty = self._flags[slot] & DIRTY
+        self._remove(slot)
+        self.st_evictions.value += 1
+        captured = False
+        if self.mechanism is not None:
+            captured = self.mechanism.on_evict(block, bool(dirty), False, time)
+        if dirty and not captured:
+            self.st_writebacks.value += 1
+            if self.writeback_next is not None:
+                self.writeback_next(block << self.line_bits, time)
+        return True
 
     def invalidate(self, addr: int) -> None:
         """Drop the line for ``addr`` if resident (no writeback)."""
-        block = self.block_of(addr)
-        lines = self._sets[self._set_index(block)]
-        for i, line in enumerate(lines):
-            if line.tag == block:
-                del lines[i]
-                return
+        slot = self._find(addr >> self.line_bits)
+        if slot >= 0:
+            self._remove(slot)
 
     def resident_blocks(self) -> List[int]:
         """All resident block numbers (test/debug helper)."""
-        return [line.tag for lines in self._sets for line in lines]
+        return [tag for tag in self._tags if tag != INVALID]
+
+    @property
+    def _sets(self) -> List[List[CacheLine]]:
+        """Per-set line views, MRU→LRU (test/debug compatibility helper)."""
+        tags = self._tags
+        assoc = self.assoc
+        return [
+            [
+                CacheLine(self, slot)
+                for slot in range(base, base + assoc)
+                if tags[slot] != INVALID
+            ]
+            for base in range(0, self.n_sets * assoc, assoc)
+        ]
 
     @property
     def miss_rate(self) -> float:
@@ -346,7 +487,13 @@ class Cache(Component):
         return misses / accesses
 
     def reset(self) -> None:
-        self._sets = [[] for _ in range(self.n_sets)]
+        n_slots = self.n_sets * self.assoc
+        # In-place so long-lived references to the metadata lists (e.g. the
+        # trace-speculation guards in repro.cpu.fastpath) stay valid.
+        self._tags[:] = [INVALID] * n_slots
+        self._ready[:] = [0] * n_slots
+        self._touch[:] = [0] * n_slots
+        self._flags[:] = [0] * n_slots
         self.ports.reset()
         self.pipeline.reset()
         self.mshr.reset()

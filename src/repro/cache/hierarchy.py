@@ -123,6 +123,14 @@ class MemoryHierarchy(Component):
             if mechanism.parent is None:
                 self.children.append(mechanism)
                 mechanism.parent = self
+        # Raw deques behind the mechanism's prefetch queues.  They are
+        # created at mechanism construction and never replaced, so advance()
+        # can gate the whole drain call on their truthiness instead of
+        # paying a generator walk per demand access.
+        self._mech_queues = (
+            tuple(q._queue for q in mechanism.iter_queues())
+            if mechanism is not None else ()
+        )
 
         self.st_loads = self.add_stat("loads")
         self.st_stores = self.add_stat("stores")
@@ -153,7 +161,7 @@ class MemoryHierarchy(Component):
     def load(self, pc: int, addr: int, time: int) -> int:
         """Issue a load; return the cycle its data is ready."""
         self.advance(time)
-        self.st_loads.add()
+        self.st_loads.value += 1
         return self.l1d.access(pc, addr, time, is_write=False)
 
     #: Sentinel PC marking instruction-side traffic: the data-cache
@@ -169,20 +177,29 @@ class MemoryHierarchy(Component):
     def store(self, pc: int, addr: int, value: int, time: int) -> int:
         """Issue a store (post-commit, from the write buffer)."""
         self.advance(time)
-        self.st_stores.add()
+        self.st_stores.value += 1
         if self.image is not None:
             self.image.write(addr, value)
         return self.l1d.access(pc, addr, time, is_write=True)
 
     def advance(self, time: int) -> None:
-        """Bring deferred work (decay events, queued prefetches) up to ``time``."""
-        if self.sim.peek_time() is not None and self.sim.peek_time() <= time:
-            self.sim.run_until(time)
-        elif time > self.sim.now:
-            self.sim.now = time
-        mech = self.mechanism
-        if mech is not None:
-            self._drain_prefetches(mech, time)
+        """Bring deferred work (decay events, queued prefetches) up to ``time``.
+
+        This runs once per demand access, so it reads the kernel's bucket
+        heap directly (``run_until`` skips cancelled buckets itself) and
+        only enters the drain routine when some prefetch queue is
+        non-empty.
+        """
+        sim = self.sim
+        times = sim._times
+        if times and times[0] <= time:
+            sim.run_until(time)
+        elif time > sim.now:
+            sim.now = time
+        for queue in self._mech_queues:
+            if queue:
+                self._drain_prefetches(self.mechanism, time)
+                break
 
     # -- inter-level plumbing ---------------------------------------------------
 

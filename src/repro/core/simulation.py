@@ -81,8 +81,14 @@ def run_trace(
     benchmark: str = "custom",
     mechanism_name: Optional[str] = None,
     warmup_fraction: float = WARMUP_FRACTION,
+    fast: bool = True,
 ) -> RunResult:
-    """Run an explicit trace on a fresh machine; return a :class:`RunResult`."""
+    """Run an explicit trace on a fresh machine; return a :class:`RunResult`.
+
+    ``fast=False`` disables the trace-speculation fast path
+    (:mod:`repro.cpu.fastpath`); results are bit-identical either way —
+    the knob exists so that equivalence stays testable.
+    """
     name = mechanism_name or _name_of(mechanism)
     tracing = TRACER.enabled
     if tracing:
@@ -93,7 +99,7 @@ def run_trace(
     sampler = maybe_sampler(hierarchy, len(trace),
                             benchmark=benchmark, mechanism=name)
     stats: CoreStats = core.run(trace, measure_from=measure_from,
-                                sampler=sampler)
+                                sampler=sampler, fast=fast)
     hierarchy.finalize_stats()
     hierarchy.sanitize_verify()  # no-op unless REPRO_SANITIZE=1
     result = _collect(benchmark, name, stats, hierarchy)
@@ -109,13 +115,14 @@ def run_benchmark(
     n_instructions: int = DEFAULT_INSTRUCTIONS,
     mechanism_kwargs: Optional[Dict] = None,
     trace_window: Optional[Tuple[int, int]] = None,
+    fast: bool = True,
 ) -> RunResult:
     """Run one registry benchmark under one registry mechanism.
 
     ``trace_window=(skip, length)`` simulates only that slice of the
     generated trace — the paper's "skip N, simulate M" trace selection
     (the window is taken from a trace of at least ``skip + length``
-    instructions).
+    instructions).  ``fast`` is forwarded to :func:`run_trace`.
     """
     if trace_window is not None:
         skip, length = trace_window
@@ -127,7 +134,7 @@ def run_benchmark(
     mechanism = create(mechanism_name, **(mechanism_kwargs or {}))
     result = run_trace(
         trace, mechanism, config, image,
-        benchmark=benchmark, mechanism_name=mechanism_name,
+        benchmark=benchmark, mechanism_name=mechanism_name, fast=fast,
     )
     return result
 

@@ -1,0 +1,91 @@
+"""Disk cache for generated hot-loop code objects.
+
+The fast path generates Python source per machine shape (baked constants,
+inline replay blocks) and compiles it once per process.  That compile is
+~3 ms — irrelevant for long sessions, but a measurable slice of a single
+cold benchmark run, which is exactly what ``repro.obs record`` times.
+Compiled code objects marshal cleanly, so they get the same treatment as
+generated workloads (:mod:`repro.workloads.store`): one file per source
+digest under ``$REPRO_CACHE_DIR/codegen`` (default
+``~/.cache/repro/codegen``), written atomically, treated as a miss on any
+decode error.
+
+The digest covers the *source text* and the interpreter's cache tag —
+marshal'd code objects are bytecode, valid only for the interpreter
+version that produced them.  Set ``REPRO_CODE_CACHE=0`` to disable the
+disk layer (the in-process memo stays).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import marshal
+import os
+import sys
+import tempfile
+from pathlib import Path
+from types import CodeType
+from typing import Dict
+
+#: In-process memo: source text -> compiled code object.
+_MEMO: Dict[str, CodeType] = {}
+
+
+def enabled() -> bool:
+    # simlint: allow[SIM203] cache location only; cannot affect results
+    return os.environ.get("REPRO_CODE_CACHE", "1") != "0"
+
+
+def cache_dir() -> Path:
+    # simlint: allow[SIM203] cache location only; cannot affect results
+    env = os.environ.get("REPRO_CACHE_DIR")
+    root = Path(env).expanduser() if env else Path.home() / ".cache" / "repro"
+    return root / "codegen"
+
+
+def _path_for(source: str) -> Path:
+    digest = hashlib.sha256(
+        f"tag={sys.implementation.cache_tag};".encode() + source.encode()
+    ).hexdigest()[:24]
+    return cache_dir() / f"{digest}.code"
+
+
+def load_or_compile(source: str, filename: str) -> CodeType:
+    """Return the compiled form of ``source``, memoised twice.
+
+    In-process by source text, and on disk by source digest so a fresh
+    process skips the compile.  ``filename`` is what tracebacks and
+    profiles show for the generated code.
+    """
+    code = _MEMO.get(source)
+    if code is not None:
+        return code
+    path = None
+    if enabled():
+        path = _path_for(source)
+        try:
+            code = marshal.loads(path.read_bytes())
+            if not isinstance(code, CodeType):
+                code = None
+        except (OSError, ValueError, EOFError, TypeError):
+            code = None
+        if code is not None:
+            _MEMO[source] = code
+            return code
+    code = compile(source, filename, "exec")
+    _MEMO[source] = code
+    if path is not None:
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(marshal.dumps(code))
+                os.replace(tmp, path)
+            except BaseException:
+                os.unlink(tmp)
+                raise
+        # simlint: allow[SIM601] best-effort cache write; the compiled code in hand is the result
+        except OSError:
+            pass
+    return code

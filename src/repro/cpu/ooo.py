@@ -31,13 +31,16 @@ from typing import Dict, Optional, Sequence
 
 from repro.cache.hierarchy import MemoryHierarchy
 from repro.core.config import CoreConfig
+from repro.cpu import codecache
+from repro.cpu.fastpath import TraceSpeculator, emit_hit_inline
 from repro.isa.instr import FU_LATENCY, FU_POOL, Op
 from repro.kernel.module import Component
 from repro.kernel.resources import MultiPortResource
 from repro.obs.tracing import TRACER
 
-#: Completion-history ring size for dependence lookups.
+#: Completion-history ring size for dependence lookups (power of two).
 _RING = 512
+_RING_MASK = _RING - 1
 
 #: Sampling threshold meaning "never" (no sampler attached).
 _NO_SAMPLE = 1 << 62
@@ -82,6 +85,10 @@ class OoOCore(Component):
         super().__init__(name, parent)
         self.config = config
         self.hierarchy = hierarchy
+        #: The last run's :class:`TraceSpeculator` (``None`` on slow-path
+        #: runs).  Diagnostics only — its commit/abort counters are not part
+        #: of ``stats_report()``, so fast and slow runs fingerprint alike.
+        self.speculation: Optional[TraceSpeculator] = None
         self.fu = {
             "int_alu": MultiPortResource(config.int_alu),
             "int_mul": MultiPortResource(config.int_mul),
@@ -91,7 +98,7 @@ class OoOCore(Component):
         }
 
     def run(self, trace: Sequence, measure_from: int = 0,
-            sampler=None) -> CoreStats:
+            sampler=None, fast: bool = True) -> CoreStats:
         """Simulate ``trace`` to completion; return the run's statistics.
 
         ``measure_from`` marks the end of the warm-up window: IPC is
@@ -104,10 +111,54 @@ class OoOCore(Component):
         statistics for per-interval rate breakdowns.  It only observes —
         a sampled run's result is identical to an unsampled one — and
         when absent costs one integer comparison per record.
+
+        ``fast`` arms the guarded trace-speculation fast path
+        (:mod:`repro.cpu.fastpath`): accesses that miss nothing replay a
+        pre-recorded L1-hit sequence and anything else aborts into the
+        ordinary hierarchy calls.  Results are bit-identical either way;
+        the knob exists so the equivalence is *testable* (and spec-hashed,
+        see :class:`repro.exec.RunSpec`).
         """
         tracing = TRACER.enabled
         if tracing:
             TRACER.begin("cpu.run", cat="cpu")
+        if fast:
+            speculator = TraceSpeculator(self.hierarchy)
+            self.speculation = speculator
+            loop = self._compile_fast_loop(speculator, sampler)
+            outcome = loop(trace, measure_from)
+        else:
+            self.speculation = None
+            outcome = self._slow_loop(trace, measure_from, sampler)
+        (index, commit_cycle, warmup_end_cycle, n_loads, n_stores,
+         n_branches, n_mispredicts, load_latency_total) = outcome
+
+        stats = CoreStats()
+        stats.instructions = index
+        if measure_from and stats.instructions > measure_from:
+            stats.instructions -= measure_from
+            stats.cycles = commit_cycle - warmup_end_cycle
+        else:
+            stats.cycles = commit_cycle if stats.instructions else 0
+        stats.loads = n_loads
+        stats.stores = n_stores
+        stats.branches = n_branches
+        stats.mispredicts = n_mispredicts
+        stats.load_latency_total = load_latency_total
+        if sampler is not None:
+            sampler.finish(index, commit_cycle)
+        if tracing:
+            TRACER.end(instructions=stats.instructions, cycles=stats.cycles)
+        return stats
+
+    def _slow_loop(self, trace: Sequence, measure_from: int, sampler):
+        """The reference pipeline walk, interpreted, no speculation.
+
+        This is the loop the generated fast path must be indistinguishable
+        from: every access goes the long way through the hierarchy.  The
+        golden-fingerprint tests diff the two record by record (via their
+        stats), which is why this stays plain, readable Python.
+        """
         sample_every = sampler.interval if sampler is not None else 0
         next_sample = sample_every if sample_every else _NO_SAMPLE
         cfg = self.config
@@ -115,8 +166,12 @@ class OoOCore(Component):
         load_op = int(Op.LOAD)
         store_op = int(Op.STORE)
         branch_op = int(Op.BRANCH)
-        latency = {int(op): lat for op, lat in FU_LATENCY.items()}
-        pool_of = {int(op): self.fu[pool] for op, pool in FU_POOL.items()}
+        latency, fu_of = self._dispatch_tables()
+
+        # Hot-path locals: every per-record attribute chain hoisted once.
+        h_load = hierarchy.load
+        h_store = hierarchy.store
+        h_fetch = hierarchy.fetch_instruction
 
         fetch_cycle = 0
         fetch_slots = 0
@@ -137,7 +192,8 @@ class OoOCore(Component):
         ring = [0] * _RING
         ring_pos = 0
 
-        stats = CoreStats()
+        ruu_len = 0
+        lsq_len = 0
         n_loads = 0
         n_stores = 0
         n_branches = 0
@@ -145,6 +201,10 @@ class OoOCore(Component):
         load_latency_total = 0
         warmup_end_cycle = 0
         index = 0
+        ruu_append = ruu.append
+        ruu_popleft = ruu.popleft
+        lsq_append = lsq.append
+        lsq_popleft = lsq.popleft
 
         for record in trace:
             if index == measure_from:
@@ -159,7 +219,7 @@ class OoOCore(Component):
             fetch_block = pc >> icache_line_bits
             if fetch_block != last_fetch_block:
                 last_fetch_block = fetch_block
-                line_ready = hierarchy.fetch_instruction(pc, fetch_cycle)
+                line_ready = h_fetch(pc, fetch_cycle)
                 if line_ready > fetch_cycle + 1:
                     fetch_cycle = line_ready - 1
                     fetch_slots = 0
@@ -168,31 +228,57 @@ class OoOCore(Component):
                 fetch_slots = 0
             fetch_slots += 1
 
-            # Dispatch: decode bubble + RUU (and LSQ) availability.
+            # Dispatch: decode bubble + RUU (and LSQ) availability.  Queue
+            # occupancy is tracked in local ints (every record pushes exactly
+            # one RUU entry, memory ops exactly one LSQ entry), saving two
+            # len() calls per record.
             dispatch = fetch_cycle + 1
-            if len(ruu) >= ruu_size:
-                oldest = ruu.popleft()
+            if ruu_len >= ruu_size:
+                oldest = ruu_popleft()
                 if oldest > dispatch:
                     dispatch = oldest
+            else:
+                ruu_len += 1
             is_mem = op == load_op or op == store_op
-            if is_mem and len(lsq) >= lsq_size:
-                oldest = lsq.popleft()
-                if oldest > dispatch:
-                    dispatch = oldest
+            if is_mem:
+                if lsq_len >= lsq_size:
+                    oldest = lsq_popleft()
+                    if oldest > dispatch:
+                        dispatch = oldest
+                else:
+                    lsq_len += 1
 
             # Operand readiness through the completion ring.
             ready = dispatch
             if dep and dep < _RING:
-                producer = ring[(ring_pos - dep) % _RING]
+                producer = ring[(ring_pos - dep) & _RING_MASK]
                 if producer > ready:
                     ready = producer
 
             # Issue: functional unit from the right pool.
-            start = pool_of[op].acquire(ready)
+            # MultiPortResource.acquire inlined (the call was the hottest
+            # line in the profile): one ledger probe on the untouched-cycle
+            # common case.  _prune keeps the ledger dict's identity stable.
+            res = fu_of[op]
+            ledger = res._ledger
+            floor = res._floor
+            start = ready if ready > floor else floor
+            count = ledger.get(start)
+            if count is None:
+                ledger[start] = 1
+            else:
+                n = res.n_ports
+                while count is not None and count >= n:
+                    start += 1
+                    count = ledger.get(start)
+                ledger[start] = 1 if count is None else count + 1
+            res.grants += 1
+            if len(ledger) > 8192:  # MultiPortResource._PRUNE_EVERY
+                res._prune(start)
 
             # Complete.
             if op == load_op:
-                complete = hierarchy.load(pc, addr, start)
+                complete = h_load(pc, addr, start)
                 load_latency_total += complete - start
                 n_loads += 1
             else:
@@ -221,33 +307,230 @@ class OoOCore(Component):
 
             if op == store_op:
                 # The write buffer performs the store after commit.
-                hierarchy.store(pc, addr, extra, commit)
+                h_store(pc, addr, extra, commit)
 
-            ruu.append(commit)
+            ruu_append(commit)
             if is_mem:
-                lsq.append(commit)
+                lsq_append(commit)
             ring[ring_pos] = complete
-            ring_pos = (ring_pos + 1) % _RING
-            stats.instructions += 1
+            ring_pos = (ring_pos + 1) & _RING_MASK
             if index >= next_sample:
                 sampler.sample(index, commit_cycle)
                 next_sample += sample_every
 
-        if measure_from and stats.instructions > measure_from:
-            stats.instructions -= measure_from
-            stats.cycles = commit_cycle - warmup_end_cycle
-        else:
-            stats.cycles = commit_cycle if stats.instructions else 0
-        stats.loads = n_loads
-        stats.stores = n_stores
-        stats.branches = n_branches
-        stats.mispredicts = n_mispredicts
-        stats.load_latency_total = load_latency_total
-        if sampler is not None:
-            sampler.finish(index, commit_cycle)
-        if tracing:
-            TRACER.end(instructions=stats.instructions, cycles=stats.cycles)
-        return stats
+        return (index, commit_cycle, warmup_end_cycle, n_loads, n_stores,
+                n_branches, n_mispredicts, load_latency_total)
+
+    def _dispatch_tables(self):
+        """Dense per-op latency and FU-pool tables (list index beats dict)."""
+        n_ops = max(int(op) for op in Op) + 1
+        latency = [0] * n_ops
+        for op, lat in FU_LATENCY.items():
+            latency[int(op)] = lat
+        fu_of = [None] * n_ops
+        for op, pool in FU_POOL.items():
+            fu_of[int(op)] = self.fu[pool]
+        return latency, fu_of
+
+    def _compile_fast_loop(self, speculator: TraceSpeculator, sampler):
+        """Generate the pipeline walk as one straight-line function.
+
+        The source is :meth:`_slow_loop` translated statement for statement,
+        with three substitutions:
+
+        * configuration constants (widths, queue sizes, line bits, the
+          mispredict penalty, the ring mask) are baked as literals;
+        * the three replay calls are replaced by the speculator's *inline*
+          hit blocks (:func:`repro.cpu.fastpath.emit_hit_inline`) — the same
+          recorded sequence the closures compile, embedded at the call site
+          so a committed replay costs no call frames at all, with the slow
+          hierarchy call as each block's ``None`` fallback;
+        * when no sampler is attached the sampling check is omitted rather
+          than guarded.
+
+        Everything else — hierarchy calls, FU ledgers, stat objects — is
+        bound through the exec namespace, localized once in the preamble.
+        Code objects are cached by source (the only variation is baked
+        constants), so repeated runs of one machine shape recompile nothing.
+        """
+        hierarchy = self.hierarchy
+        cfg = self.config
+        latency, fu_of = self._dispatch_tables()
+        counts = speculator.counts
+
+        bind = {
+            "latency": latency,
+            "fu_of": fu_of,
+            "h_load": hierarchy.load,
+            "h_store": hierarchy.store,
+            "h_fetch": hierarchy.fetch_instruction,
+            "deque": deque,
+        }
+        load_op = int(Op.LOAD)
+        store_op = int(Op.STORE)
+        branch_op = int(Op.BRANCH)
+
+        ifetch_block, b = emit_hit_inline(
+            counts, hierarchy, "ifetch", prefix="if_", result="line_ready",
+            pc="pc", addr="pc", time="fetch_cycle", indent=" " * 12)
+        bind.update(b)
+        load_block, b = emit_hit_inline(
+            counts, hierarchy, "load", prefix="ld_", result="complete",
+            pc="pc", addr="addr", time="start", indent=" " * 12)
+        bind.update(b)
+        store_block, b = emit_hit_inline(
+            counts, hierarchy, "store", prefix="st_", result="store_done",
+            pc="pc", addr="addr", time="commit", value="extra",
+            indent=" " * 12)
+        bind.update(b)
+        # A sampler with a falsy interval never fires (the interpreted loop
+        # maps it to the _NO_SAMPLE sentinel); omit the check entirely.
+        sampling = sampler is not None and sampler.interval
+        if sampling:
+            bind["sampler_sample"] = sampler.sample
+
+        lines = ["def run_loop(trace, measure_from):"]
+        # Preamble: rebind every namespace object to a local once.
+        lines += [f"    {name} = g_{name}" for name in bind]
+        lines += [
+            "    ruu = deque()",
+            "    lsq = deque()",
+            "    ruu_append = ruu.append",
+            "    ruu_popleft = ruu.popleft",
+            "    lsq_append = lsq.append",
+            "    lsq_popleft = lsq.popleft",
+            f"    ring = [0] * {_RING}",
+            "    ring_pos = 0",
+            "    fetch_cycle = 0",
+            "    fetch_slots = 0",
+            "    squash_until = 0",
+            "    last_fetch_block = -1",
+            "    commit_cycle = 0",
+            "    commit_slots = 0",
+            "    ruu_len = 0",
+            "    lsq_len = 0",
+            "    n_loads = 0",
+            "    n_stores = 0",
+            "    n_branches = 0",
+            "    n_mispredicts = 0",
+            "    load_latency_total = 0",
+            "    warmup_end_cycle = 0",
+            "    index = 0",
+        ]
+        if sampling:
+            lines.append(f"    next_sample = {sampler.interval}")
+        lines += [
+            "    for record in trace:",
+            "        if index == measure_from:",
+            "            warmup_end_cycle = commit_cycle",
+            "        index += 1",
+            "        op, pc, addr, dep, extra = record",
+            "        if squash_until > fetch_cycle:",
+            "            fetch_cycle = squash_until",
+            "            fetch_slots = 0",
+            f"        fetch_block = pc >> {hierarchy.l1i.line_bits}",
+            "        if fetch_block != last_fetch_block:",
+            "            last_fetch_block = fetch_block",
+            *ifetch_block,
+            "            if line_ready is None:",
+            "                line_ready = h_fetch(pc, fetch_cycle)",
+            "            if line_ready > fetch_cycle + 1:",
+            "                fetch_cycle = line_ready - 1",
+            "                fetch_slots = 0",
+            f"        if fetch_slots >= {cfg.fetch_width}:",
+            "            fetch_cycle += 1",
+            "            fetch_slots = 0",
+            "        fetch_slots += 1",
+            "        dispatch = fetch_cycle + 1",
+            f"        if ruu_len >= {cfg.ruu_size}:",
+            "            oldest = ruu_popleft()",
+            "            if oldest > dispatch:",
+            "                dispatch = oldest",
+            "        else:",
+            "            ruu_len += 1",
+            f"        is_mem = op == {load_op} or op == {store_op}",
+            "        if is_mem:",
+            f"            if lsq_len >= {cfg.lsq_size}:",
+            "                oldest = lsq_popleft()",
+            "                if oldest > dispatch:",
+            "                    dispatch = oldest",
+            "            else:",
+            "                lsq_len += 1",
+            "        ready = dispatch",
+            f"        if dep and dep < {_RING}:",
+            f"            producer = ring[(ring_pos - dep) & {_RING_MASK}]",
+            "            if producer > ready:",
+            "                ready = producer",
+            # MultiPortResource.acquire inlined, as in the interpreted loop.
+            "        res = fu_of[op]",
+            "        ledger = res._ledger",
+            "        floor = res._floor",
+            "        start = ready if ready > floor else floor",
+            "        count = ledger.get(start)",
+            "        if count is None:",
+            "            ledger[start] = 1",
+            "        else:",
+            "            n = res.n_ports",
+            "            while count is not None and count >= n:",
+            "                start += 1",
+            "                count = ledger.get(start)",
+            "            ledger[start] = 1 if count is None else count + 1",
+            "        res.grants += 1",
+            "        if len(ledger) > 8192:",
+            "            res._prune(start)",
+            f"        if op == {load_op}:",
+            *load_block,
+            "            if complete is None:",
+            "                complete = h_load(pc, addr, start)",
+            "            load_latency_total += complete - start",
+            "            n_loads += 1",
+            "        else:",
+            "            complete = start + latency[op]",
+            f"            if op == {store_op}:",
+            "                n_stores += 1",
+            f"            elif op == {branch_op}:",
+            "                n_branches += 1",
+            "                if extra:",
+            "                    n_mispredicts += 1",
+            "                    resolve = complete",
+            f"                    if squash_until < resolve + {cfg.mispredict_penalty}:",
+            f"                        squash_until = resolve + {cfg.mispredict_penalty}",
+            "        commit = complete + 1",
+            "        if commit > commit_cycle:",
+            "            commit_cycle = commit",
+            "            commit_slots = 1",
+            "        else:",
+            "            commit_slots += 1",
+            f"            if commit_slots > {cfg.commit_width}:",
+            "                commit_cycle += 1",
+            "                commit_slots = 1",
+            "            commit = commit_cycle",
+            f"        if op == {store_op}:",
+            *store_block,
+            "            if store_done is None:",
+            "                h_store(pc, addr, extra, commit)",
+            "        ruu_append(commit)",
+            "        if is_mem:",
+            "            lsq_append(commit)",
+            "        ring[ring_pos] = complete",
+            f"        ring_pos = (ring_pos + 1) & {_RING_MASK}",
+        ]
+        if sampling:
+            lines += [
+                "        if index >= next_sample:",
+                "            sampler_sample(index, commit_cycle)",
+                f"            next_sample += {sampler.interval}",
+            ]
+        lines += [
+            "    return (index, commit_cycle, warmup_end_cycle, n_loads,",
+            "            n_stores, n_branches, n_mispredicts,",
+            "            load_latency_total)",
+        ]
+        source = "\n".join(lines)
+        code = codecache.load_or_compile(source, "<repro.cpu.ooo.fastloop>")
+        namespace = {f"g_{name}": obj for name, obj in bind.items()}
+        exec(code, namespace)  # noqa: S102 - closed namespace, own source
+        return namespace["run_loop"]
 
     def reset(self) -> None:
         for pool in self.fu.values():

@@ -35,6 +35,10 @@ class SDRAMController(Component):
         self.config = config
         self.device = SDRAM(config, scheme, page_policy, parent=self)
         self._slots: List[int] = []    # heap of per-slot completion times
+        # Hot-path hoists: the queue bound and the device's access method
+        # are fixed for the controller's lifetime.
+        self._queue_entries = config.queue_entries
+        self._device_access = self.device.access
         self.st_requests = self.add_stat("requests", "requests admitted")
         self.st_queue_stall = self.add_stat(
             "queue_stall_cycles", "cycles requests waited for a queue slot"
@@ -53,16 +57,17 @@ class SDRAMController(Component):
         tracing = TRACER.enabled
         if tracing:
             TRACER.begin("dram.access", cat="dram")
+        slots = self._slots
         admitted = time
-        if len(self._slots) >= self.config.queue_entries:
-            earliest = heapq.heappop(self._slots)
+        if len(slots) >= self._queue_entries:
+            earliest = heapq.heappop(slots)
             if earliest > admitted:
-                self.st_queue_stall.add(earliest - admitted)
+                self.st_queue_stall.value += earliest - admitted
                 admitted = earliest
-        ready = self.device.access(addr, admitted)
-        heapq.heappush(self._slots, ready)
-        self.st_requests.add()
-        self.st_latency.add(ready - time)
+        ready = self._device_access(addr, admitted)
+        heapq.heappush(slots, ready)
+        self.st_requests.value += 1
+        self.st_latency.value += ready - time
         if tracing:
             TRACER.end(cycles=ready - time, queue_wait=admitted - time,
                        write=is_write)

@@ -55,6 +55,12 @@ class RunSpec:
     * ``("simpoint", interval)`` — SimPoint selection of the
       representative ``n_instructions`` slice using ``interval``-sized
       basic-block vectors.
+
+    ``fast`` arms the trace-speculation fast path
+    (:mod:`repro.cpu.fastpath`).  Results are bit-identical either way —
+    the equivalence is pinned by the golden-fingerprint tests — but the
+    knob is part of run identity (and so of ``content_hash``) because it
+    selects which code path produced the numbers.
     """
 
     benchmark: str
@@ -65,6 +71,7 @@ class RunSpec:
     trace_length: Optional[int] = None
     selection: Optional[Tuple[Any, ...]] = None
     warmup_fraction: float = WARMUP_FRACTION
+    fast: bool = True
 
     def __post_init__(self) -> None:
         kwargs = self.mechanism_kwargs
@@ -103,6 +110,7 @@ class RunSpec:
             "trace_length": self.trace_length,
             "selection": list(self.selection) if self.selection else None,
             "warmup_fraction": self.warmup_fraction,
+            "fast": self.fast,
         }
 
     @cached_property
@@ -138,4 +146,5 @@ class RunSpec:
             benchmark=self.benchmark,
             mechanism_name=self.mechanism,
             warmup_fraction=self.warmup_fraction,
+            fast=self.fast,
         )

@@ -56,25 +56,38 @@ class MultiPortResource:
     def acquire(self, time: int) -> int:
         """Reserve a port at or after ``time``; return the granted cycle."""
         ledger = self._ledger
-        n = self.n_ports
         grant = time if time > self._floor else self._floor
-        while ledger.get(grant, 0) >= n:
-            grant += 1
-        ledger[grant] = ledger.get(grant, 0) + 1
+        count = ledger.get(grant)
+        if count is None:
+            # Untouched cycle — the common case on the hot path: one dict
+            # probe, one store.
+            ledger[grant] = 1
+        else:
+            n = self.n_ports
+            while count is not None and count >= n:
+                grant += 1
+                count = ledger.get(grant)
+            ledger[grant] = 1 if count is None else count + 1
         self.grants += 1
         if len(ledger) > self._PRUNE_EVERY:
             self._prune(grant)
         return grant
 
     def _prune(self, current: int) -> None:
-        """Drop ledger entries far in the past (they can never matter)."""
+        """Drop ledger entries far in the past (they can never matter).
+
+        Mutates the ledger dict *in place*: the trace-speculation fast path
+        and the core's inlined acquire bind ``_ledger`` once per run, so the
+        dict's identity must survive pruning (same contract as the kernel's
+        heap compaction and ``Cache.reset``).
+        """
         horizon = current - 2048
         if horizon <= self._floor:
             return
-        self._ledger = {
-            cycle: count for cycle, count in self._ledger.items()
-            if cycle >= horizon
-        }
+        ledger = self._ledger
+        stale = [cycle for cycle in ledger if cycle < horizon]
+        for cycle in stale:
+            del ledger[cycle]
         self._floor = max(self._floor, 0)
 
     def earliest_grant(self, time: int) -> int:
@@ -89,7 +102,7 @@ class MultiPortResource:
         return self.earliest_grant(time) == time
 
     def reset(self) -> None:
-        self._ledger = {}
+        self._ledger.clear()
         self.grants = 0
         self._floor = 0
 

@@ -28,7 +28,8 @@ from repro.obs.tracing import validate_trace_file
 def _cmd_record(args: argparse.Namespace) -> int:
     from repro.exec.runspec import RunSpec  # deferred: pulls the simulator in
 
-    spec = RunSpec(args.benchmark, args.mechanism, n_instructions=args.n)
+    spec = RunSpec(args.benchmark, args.mechanism, n_instructions=args.n,
+                   fast=args.fast)
     start = time.perf_counter()
     result = spec.execute()
     seconds = time.perf_counter() - start
@@ -144,6 +145,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                           help="instructions to simulate (default 8000)")
     p_record.add_argument("--label", default=None,
                           help="record label (default benchmark/mechanism)")
+    p_record.add_argument("--fast", dest="fast", action="store_true",
+                          default=True,
+                          help="use the trace-speculation fast path "
+                               "(default; results are bit-identical "
+                               "either way)")
+    p_record.add_argument("--no-fast", dest="fast", action="store_false",
+                          help="run on the slow path (before/after "
+                               "perf comparisons)")
     p_record.set_defaults(fn=_cmd_record)
 
     p_list = sub.add_parser("list", help="print every ledger entry")

@@ -12,7 +12,10 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence, Tuple
 
-import numpy as np
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - numpy is optional (gated at use)
+    np = None  # type: ignore[assignment]
 
 from repro.isa.instr import PC
 
@@ -30,6 +33,8 @@ def basic_block_vectors(
     SimPoint prescribes.  The final partial interval is kept when it covers
     at least half an interval, dropped otherwise.
     """
+    if np is None:  # pragma: no cover - numpy present in the test env
+        raise ModuleNotFoundError("numpy is required for basic-block vectors")
     if interval < 1:
         raise ValueError(f"interval must be positive, got {interval}")
     block_index: Dict[int, int] = {}

@@ -13,7 +13,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
-import numpy as np
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - numpy is optional (gated at use)
+    np = None  # type: ignore[assignment]
 
 from repro.trace.bbv import basic_block_vectors
 

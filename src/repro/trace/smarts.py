@@ -18,7 +18,10 @@ import math
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
-import numpy as np
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - numpy is optional (gated at use)
+    np = None  # type: ignore[assignment]
 
 from repro.core.config import MachineConfig
 from repro.core.simulation import run_trace
@@ -79,6 +82,8 @@ def sampled_ipc(
     image=None,
 ) -> SampledEstimate:
     """SMARTS estimate of a trace's IPC from systematic windows."""
+    if np is None:  # pragma: no cover - numpy present in the test env
+        raise ModuleNotFoundError("numpy is required for SMARTS estimates")
     if not 0 < confidence < 1:
         raise ValueError(f"confidence must be in (0,1), got {confidence}")
     ipcs = []

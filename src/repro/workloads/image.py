@@ -27,10 +27,27 @@ class MemoryImage:
 
     def __init__(self) -> None:
         self._words: Dict[int, int] = {}
+        #: Optional lazily-thawed base image: a pair of parallel address /
+        #: value sequences (set by the on-disk workload store).  Reads and
+        #: size queries materialise it into ``_words`` on first use; a run
+        #: that only *writes* (most timing runs — values are only consumed
+        #: by value-based mechanisms like FVC and CDP) never pays the cost
+        #: of building a 60k-entry dict.
+        self._pending = None
         self.heap_lo: int = 0
         self.heap_hi: int = 0
         self.reads = 0
         self.writes = 0
+
+    def _materialize(self) -> None:
+        """Thaw the pending base image under any overlay writes."""
+        pending = self._pending
+        if pending is None:
+            return
+        self._pending = None
+        base = dict(zip(*pending))
+        base.update(self._words)  # stores made since load win, as they must
+        self._words = base
 
     # -- region management -------------------------------------------------------
 
@@ -69,6 +86,8 @@ class MemoryImage:
         self.writes += 1
 
     def read(self, addr: int) -> int:
+        if self._pending is not None:
+            self._materialize()
         self.reads += 1
         word_addr = self._word_addr(addr)
         value = self._words.get(word_addr)
@@ -78,6 +97,8 @@ class MemoryImage:
 
     def read_line(self, line_addr: int, line_bytes: int) -> Tuple[int, ...]:
         """All words of the aligned line starting at ``line_addr``."""
+        if self._pending is not None:
+            self._materialize()
         words = self._words
         base = self._word_addr(line_addr)
         self.reads += 1
@@ -91,7 +112,11 @@ class MemoryImage:
         return tuple(out)
 
     def __len__(self) -> int:
+        if self._pending is not None:
+            self._materialize()
         return len(self._words)
 
     def __contains__(self, addr: int) -> bool:
+        if self._pending is not None:
+            self._materialize()
         return self._word_addr(addr) in self._words

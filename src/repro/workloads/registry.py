@@ -18,6 +18,7 @@ from __future__ import annotations
 from functools import lru_cache
 from typing import Dict, List, Tuple
 
+from repro.workloads import store
 from repro.workloads.base import SyntheticWorkload, WorkloadSpec
 from repro.workloads.image import MemoryImage
 from repro.workloads.spec2000 import SPECS
@@ -75,9 +76,18 @@ def build(
     objects; callers must not mutate the trace.  The image absorbs the
     simulated machine's stores, which replay the generation-time values, so
     sharing it across runs is sound.
+
+    Builds are memoised twice: in process by ``lru_cache``, and on disk by
+    :mod:`repro.workloads.store` so fresh processes (CLI runs, ledger
+    records, pool workers) skip generation entirely.
     """
-    spec = get_spec(name)
-    return SyntheticWorkload(spec).build(n_instructions)
+    spec = get_spec(name)  # validates the name before any cache probe
+    cached = store.load(name, n_instructions)
+    if cached is not None:
+        return cached
+    trace, image = SyntheticWorkload(spec).build(n_instructions)
+    store.save(name, n_instructions, trace, image)
+    return trace, image
 
 
 def clear_cache() -> None:

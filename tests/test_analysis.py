@@ -179,7 +179,9 @@ def test_sanitizer_detects_broken_monotonicity(monkeypatch):
     # Bypass schedule()'s clamp to model a corrupted queue.
     import heapq
 
-    heapq.heappush(sim._queue, Event(5, 0, lambda: None, ()))
+    sim._buckets[5] = [Event(5, 0, lambda: None, ())]
+    heapq.heappush(sim._times, 5)
+    sim._live += 1
     with pytest.raises(SanitizeError):
         sim.run()
 

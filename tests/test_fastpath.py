@@ -1,0 +1,177 @@
+"""Trace-speculation fast path: bit-identity, guards, and abort paths.
+
+The fast path (:mod:`repro.cpu.fastpath`) is only allowed to exist because
+it is *provably invisible*: the golden-fingerprint test here runs every
+registered mechanism on the same trace with the fast path on and off and
+requires identical ``stats_report()`` output (plus the headline result
+fields).  The unit tests then poke each guard directly — a miss
+mid-replay, a prefetch queued mid-replay, a kernel event coming due — and
+check the abort is taken, is side-effect-free, and lands on a slow path
+that produces the same answer.
+"""
+
+import pytest
+
+from repro.core import run_benchmark
+from repro.core.config import baseline_config
+from repro.core.simulation import build_machine, run_trace
+from repro.cpu.fastpath import TraceSpeculator
+from repro.exec import RunSpec
+from repro.mechanisms.base import Mechanism
+from repro.mechanisms.registry import ALL_MECHANISMS, EXTENSIONS, create
+from repro.workloads.registry import build as build_workload
+
+_N = 3000
+
+
+@pytest.fixture(scope="module")
+def swim_trace():
+    return build_workload("swim", _N)
+
+
+# -- golden fingerprint --------------------------------------------------------
+
+@pytest.mark.parametrize("mechanism", ALL_MECHANISMS + EXTENSIONS)
+def test_fast_and_slow_paths_fingerprint_identically(mechanism, swim_trace):
+    trace, image = swim_trace
+    results = {}
+    for fast in (True, False):
+        results[fast] = run_trace(
+            list(trace), create(mechanism), image=image, benchmark="swim",
+            mechanism_name=mechanism, fast=fast,
+        )
+    fast_r, slow_r = results[True], results[False]
+    assert fast_r.stats == slow_r.stats, (
+        f"{mechanism}: stats_report diverged between fast and slow paths"
+    )
+    assert fast_r.ipc == slow_r.ipc
+    assert fast_r.cycles == slow_r.cycles
+    assert fast_r.l1_miss_rate == slow_r.l1_miss_rate
+    assert fast_r.l2_miss_rate == slow_r.l2_miss_rate
+    assert fast_r.avg_load_latency == slow_r.avg_load_latency
+    assert fast_r.prefetches_issued == slow_r.prefetches_issued
+    assert fast_r.useful_prefetches == slow_r.useful_prefetches
+
+
+def test_fast_knob_flows_through_run_benchmark():
+    fast_r = run_benchmark("art", "GHB", n_instructions=2000)
+    slow_r = run_benchmark("art", "GHB", n_instructions=2000, fast=False)
+    assert fast_r.stats == slow_r.stats
+    assert fast_r.ipc == slow_r.ipc
+
+
+def test_speculation_counters_stay_out_of_stats(swim_trace):
+    trace, image = swim_trace
+    core, hierarchy = build_machine(None, create("GHB"), image)
+    core.run(list(trace))
+    sp = core.speculation
+    assert sp is not None and sp.commits > 0
+    report = hierarchy.stats_report()
+    assert not any("commit" in key or "abort" in key for key in report)
+
+
+def test_slow_path_records_no_speculator(swim_trace):
+    trace, image = swim_trace
+    core, _ = build_machine(None, None, image)
+    core.run(list(trace), fast=False)
+    assert core.speculation is None
+
+
+# -- the guards, one by one ----------------------------------------------------
+
+def _machine(mechanism=None):
+    core, hierarchy = build_machine(baseline_config(), mechanism)
+    speculator = TraceSpeculator(hierarchy)
+    return core, hierarchy, speculator
+
+
+def test_replay_commits_on_a_resident_line():
+    _, hierarchy, sp = _machine()
+    slow_ready = hierarchy.load(0x100, 0x4000, 10)   # miss: installs the line
+    assert sp.commits == 0
+    fast_ready = sp.replay_load(0x100, 0x4000, slow_ready + 5)
+    assert fast_ready is not None
+    assert sp.commits == 1 and sp.aborts == 0
+
+
+def test_miss_mid_replay_aborts_without_side_effects():
+    _, hierarchy, sp = _machine()
+    l1d = hierarchy.l1d
+    before = (list(l1d._tags), list(l1d._flags),
+              l1d.st_reads.value, l1d.st_read_misses.value,
+              hierarchy.st_loads.value)
+    assert sp.replay_load(0x100, 0x9000, 10) is None  # cold cache: a miss
+    assert sp.abort_reasons()["miss"] == 1
+    after = (list(l1d._tags), list(l1d._flags),
+              l1d.st_reads.value, l1d.st_read_misses.value,
+              hierarchy.st_loads.value)
+    assert before == after, "an aborted replay must leave no trace"
+    # The slow path then answers, and a retry of the replay commits.
+    ready = hierarchy.load(0x100, 0x9000, 10)
+    assert sp.replay_load(0x100, 0x9000, ready + 4) is not None
+
+
+def test_prefetch_insert_mid_replay_aborts_to_the_drain():
+    class Pusher(Mechanism):
+        LEVEL = "l1"
+        QUEUE_SIZE = 4
+
+    mech = Pusher()
+    _, hierarchy, sp = _machine(mech)
+    hierarchy.load(0x100, 0x4000, 10)                # line now resident
+    assert sp.replay_load(0x100, 0x4000, 20) is not None
+    # A prefetch lands in the queue mid-run (as a hook would emit it).
+    assert mech.emit_prefetch(0x8000, time=20)
+    assert sp.replay_load(0x100, 0x4000, 25) is None
+    assert sp.abort_reasons()["queued_prefetch"] == 1
+    # The slow path drains the queue; replays resume committing after.
+    hierarchy.load(0x100, 0x4000, 30)
+    assert len(mech.queue) == 0
+    assert sp.replay_load(0x100, 0x4000, 40) is not None
+
+
+def test_due_kernel_event_is_drained_then_replay_commits():
+    fired = []
+    _, hierarchy, sp = _machine()
+    hierarchy.load(0x100, 0x4000, 10)
+    hierarchy.sim.schedule(100, fired.append, "later")
+    # Event still in the future: advance() would not fire it either.
+    assert sp.replay_load(0x100, 0x4000, 50) is not None
+    assert sp.event_drains == 0
+    # At its due time the replay first runs the kernel drain — the same
+    # run_until the slow path's advance() performs — then commits.
+    assert sp.replay_load(0x100, 0x4000, 100) is not None
+    assert sp.event_drains == 1
+    assert fired == ["later"]
+    assert hierarchy.sim.now == 100
+
+
+def test_ifetch_replay_skips_mechanism_hooks():
+    class Spy(Mechanism):
+        LEVEL = "l1"
+        QUEUE_SIZE = 4
+
+        def __init__(self):
+            super().__init__()
+            self.seen = []
+
+        def on_access(self, pc, block, hit, was_prefetched, time):
+            self.seen.append(pc)
+
+    mech = Spy()
+    _, hierarchy, sp = _machine(mech)
+    hierarchy.fetch_instruction(0x4000, 5)           # install in L1I
+    assert sp.replay_ifetch(0x4000, 0x4000, 10) is not None
+    assert mech.seen == []                           # ifetch is invisible
+    hierarchy.load(0x200, 0x4000, 15)                # data access is not
+    assert mech.seen != []
+
+
+# -- spec hashing --------------------------------------------------------------
+
+def test_fast_knob_is_part_of_run_identity():
+    fast_spec = RunSpec("swim", "GHB", n_instructions=2000)
+    slow_spec = RunSpec("swim", "GHB", n_instructions=2000, fast=False)
+    assert fast_spec.fast is True
+    assert fast_spec.describe()["fast"] is True
+    assert fast_spec.content_hash != slow_spec.content_hash

@@ -592,10 +592,12 @@ def _run_cli(env, *args):
     )
 
 
-#: Pinned: with seed=7 and crash:0.3, the fig10 swim/art specs see five
+#: Pinned: with seed=7 and crash:0.3, the fig10 swim/art specs see four
 #: crashes across attempts but every spec succeeds within --retries 3.
+#: (The schedule hashes each spec's content_hash, so this count re-pins
+#: whenever RunSpec identity gains a field.)
 _CHAOS_SPEC = "crash:0.3,seed=7"
-_CHAOS_RETRIES = 5
+_CHAOS_RETRIES = 4
 
 _FIG10_ARGS = ("fig10", "--n", "2000", "--benchmarks", "swim,art",
                "--jobs", "2", "--retries", "3")

@@ -119,3 +119,99 @@ def test_reset_clears_queue_and_clock():
     assert sim.now == 0
     assert sim.pending == 0
     assert sim.peek_time() is None
+
+
+def test_same_cycle_events_scheduled_during_drain_fire_in_seq_order():
+    sim = Simulator()
+    fired = []
+
+    def first():
+        fired.append("first")
+        # Scheduled for the cycle being drained: must fire this sweep,
+        # after everything already queued at t=5.
+        sim.schedule(5, fired.append, "nested")
+
+    sim.schedule(5, first)
+    sim.schedule(5, fired.append, "second")
+    sim.run()
+    assert fired == ["first", "second", "nested"]
+    assert sim.now == 5
+
+
+def test_reentrant_drain_is_rejected():
+    sim = Simulator()
+
+    def naughty():
+        sim.run()
+
+    sim.schedule(1, naughty)
+    with pytest.raises(RuntimeError, match="reentrant"):
+        sim.run()
+
+
+# -- cancellation compaction ---------------------------------------------------
+
+def test_compaction_triggers_when_cancelled_exceed_live():
+    sim = Simulator()
+    live = sim.schedule(50, lambda: None)
+    doomed = [sim.schedule(10 + i, lambda: None) for i in range(10)]
+    assert sim.pending == 11
+    for event in doomed:
+        event.cancel()
+    # Compaction triggers whenever cancelled events outnumber live ones,
+    # so at most one cancelled straggler (cancelled after the last sweep,
+    # not yet outnumbering the survivors) can remain.
+    assert sim._cancelled <= 1
+    assert sim.pending <= 2
+    assert 50 in sim._times and len(sim._times) <= 2
+    assert live.cancelled is False
+
+
+def test_compaction_preserves_firing_order():
+    sim = Simulator()
+    fired = []
+    keep_a = sim.schedule(5, fired.append, "a")
+    drop = [sim.schedule(5, fired.append, f"x{i}") for i in range(6)]
+    keep_b = sim.schedule(5, fired.append, "b")
+    sim.schedule(7, fired.append, "c")
+    for event in drop:
+        event.cancel()
+    assert sim._cancelled <= 1  # compacted along the way
+    sim.run()
+    assert fired == ["a", "b", "c"]
+    assert keep_a.cancelled is False and keep_b.cancelled is False
+
+
+def test_compaction_keeps_times_heap_identity():
+    # The trace-speculation guards bind the heap list once; compaction
+    # must mutate it in place, never replace it.
+    sim = Simulator()
+    times = sim._times
+    doomed = [sim.schedule(10 + i, lambda: None) for i in range(8)]
+    for event in doomed:
+        event.cancel()
+    assert sim._times is times
+
+
+def test_cancel_during_drain_defers_compaction():
+    sim = Simulator()
+    fired = []
+    doomed = [sim.schedule(20 + i, fired.append, i) for i in range(6)]
+
+    def cancel_all():
+        for event in doomed:
+            event.cancel()
+
+    sim.schedule(1, cancel_all)
+    sim.run()  # must not blow up compacting mid-drain
+    assert fired == []
+    assert sim.pending == 0
+
+
+def test_double_cancel_counts_once():
+    sim = Simulator()
+    sim.schedule(5, lambda: None)
+    event = sim.schedule(6, lambda: None)
+    event.cancel()
+    event.cancel()
+    assert sim.pending == 2  # one live + one cancelled, not zero or three
