@@ -19,6 +19,13 @@ The rule families (catalogue in ``docs/analysis.md``):
   span names.
 * **SIM6xx** robustness discipline (sim path + ``repro.exec``) —
   swallowed exceptions that should propagate or become ``FailedRun``s.
+* **SIM7xx** hot-path performance lint (sim-path packages) — allocation,
+  unhoisted attribute chains, and per-iteration frames inside functions
+  marked ``@hotpath``.
+* **SIM8xx** fast-path guard completeness (``repro.cpu``) — the
+  generated trace-speculation code is re-emitted for every machine shape
+  and proven to guard every state it touches, replay the slow path's
+  writes in order, and bake only fresh constants.
 
 The same invariants have a *runtime* twin: setting ``REPRO_SANITIZE=1``
 arms cheap assertions in the kernel and the cache hierarchy (see
@@ -32,6 +39,8 @@ from __future__ import annotations
 from repro.analysis import (  # noqa: F401
     contract,
     determinism,
+    fastpath,
+    hotpath,
     obsrules,
     purity,
     robustness,

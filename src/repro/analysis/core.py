@@ -79,13 +79,21 @@ class AllowEntry:
         return "*" in self.rules or rule in self.rules
 
 
+#: ``ast.parse`` calls performed through :class:`SourceModule` since the
+#: last :func:`clear_parse_cache`.  Tests assert on this to pin the
+#: parse-each-file-exactly-once property of a full run.
+_PARSE_COUNT = 0
+
+
 class SourceModule:
     """One parsed source file plus its lint metadata."""
 
-    def __init__(self, path: Path, text: str, module: Optional[str]):
+    def __init__(self, path: Path, text: str, module: Optional[str]) -> None:
+        global _PARSE_COUNT
         self.path = path
         self.text = text
         self.module = module          # dotted name under repro, or None
+        _PARSE_COUNT += 1
         self.tree = ast.parse(text, filename=str(path))
         self.allows = _parse_allows(text)
 
@@ -166,14 +174,14 @@ def all_rules() -> List[Rule]:
 
 
 def make_violation(
-    rule_obj: Rule, module: SourceModule, node_or_line, message: str
+    rule_obj: Rule, module: SourceModule, node_or_line: object, message: str
 ) -> Violation:
-    line = getattr(node_or_line, "lineno", node_or_line)
+    raw = getattr(node_or_line, "lineno", node_or_line)
     return Violation(
         rule=rule_obj.rule_id,
         name=rule_obj.name,
         path=str(module.path),
-        line=int(line),
+        line=raw if isinstance(raw, int) else 1,
         message=message,
     )
 
@@ -190,6 +198,44 @@ def _module_name(path: Path) -> Optional[str]:
     return None
 
 
+#: Cross-call parse cache: resolved path -> (mtime_ns, size, module).
+#: ``analyze_paths`` used to re-parse the whole tree on every call, which
+#: multiplied across the CLI's fixture-rejection loop and the SIM8xx
+#: verifier's repeated whole-tree anchoring; the cache makes a full run
+#: parse each file exactly once (``parse_count`` pins that in tests).
+_PARSE_CACHE: Dict[str, Tuple[int, int, SourceModule]] = {}
+
+
+def parse_count() -> int:
+    """``ast.parse`` calls performed since :func:`clear_parse_cache`."""
+    return _PARSE_COUNT
+
+
+def clear_parse_cache() -> None:
+    """Drop cached parses and reset the parse counter (test isolation)."""
+    global _PARSE_COUNT
+    _PARSE_CACHE.clear()
+    _PARSE_COUNT = 0
+
+
+def _load_file(file: Path) -> SourceModule:
+    """Parse ``file``, served from the cross-call cache when unchanged.
+
+    Freshness is keyed on (mtime_ns, size) so an edited file re-parses;
+    a cached module is reused only when asked for under the same spelling
+    of its path (violation rendering shows the path as given).
+    """
+    key = str(file.resolve())
+    stat = file.stat()
+    cached = _PARSE_CACHE.get(key)
+    if (cached is not None and cached[0] == stat.st_mtime_ns
+            and cached[1] == stat.st_size and str(cached[2].path) == str(file)):
+        return cached[2]
+    module = SourceModule(file, file.read_text("utf-8"), _module_name(file))
+    _PARSE_CACHE[key] = (stat.st_mtime_ns, stat.st_size, module)
+    return module
+
+
 def load_paths(paths: Sequence[Path]) -> Tuple[List[SourceModule], List[Violation]]:
     """Parse every ``.py`` file under ``paths``; syntax errors become SIM000."""
     files: List[Path] = []
@@ -201,9 +247,8 @@ def load_paths(paths: Sequence[Path]) -> Tuple[List[SourceModule], List[Violatio
     modules: List[SourceModule] = []
     errors: List[Violation] = []
     for file in files:
-        text = file.read_text("utf-8")
         try:
-            modules.append(SourceModule(file, text, _module_name(file)))
+            modules.append(_load_file(file))
         except SyntaxError as exc:
             errors.append(Violation(
                 rule="SIM000", name="syntax-error", path=str(file),

@@ -39,6 +39,7 @@ from __future__ import annotations
 from typing import Callable, List, Optional, TYPE_CHECKING
 
 from repro.core.config import CacheConfig
+from repro.hotpath import hotpath
 from repro.kernel.module import Component
 from repro.kernel.resources import MultiPortResource, PipelinedResource
 from repro.cache.mshr import MSHRFile
@@ -213,6 +214,7 @@ class Cache(Component):
 
     # -- the access path -------------------------------------------------------
 
+    @hotpath
     def access(self, pc: int, addr: int, time: int, is_write: bool) -> int:
         """Perform a demand access; return the cycle the data is available.
 
@@ -237,6 +239,7 @@ class Cache(Component):
         # invisible to the attached *data*-cache mechanism, as in the
         # original study's wrappers.
         mech = self.mechanism if pc != -1 else None
+        # simlint: allow[SIM703] list.index raising ValueError IS the probe; an LBYL scan would be O(assoc) in Python
         try:
             slot = tags.index(block, base, base + assoc)
         except ValueError:
@@ -321,6 +324,7 @@ class Cache(Component):
         self.mshr.insert(block, fill_ready)
         if pc == -1:
             self._mech_suspended = True
+        # simlint: allow[SIM703] miss path only; the suspension flag must clear even if a hook raises
         try:
             line = self._install(block, fill_ready, alloc_t, prefetched=False)
         finally:
@@ -344,6 +348,7 @@ class Cache(Component):
             or self.mshr.occupancy(time) < self.mshr.capacity
         )
 
+    @hotpath
     def insert_prefetch(self, addr: int, ready: int, time: int) -> bool:
         """Install a prefetched line (fill completes at ``ready``).
 
@@ -366,6 +371,7 @@ class Cache(Component):
         self._install(block, ready, time, prefetched=True)
         return True
 
+    @hotpath
     def _install(self, block: int, ready: int, time: int, prefetched: bool) -> CacheLine:
         """Insert ``block`` at MRU, evicting the LRU victim if needed."""
         assoc = self.assoc

@@ -10,10 +10,13 @@ digest under ``$REPRO_CACHE_DIR/codegen`` (default
 ``~/.cache/repro/codegen``), written atomically, treated as a miss on any
 decode error.
 
-The digest covers the *source text* and the interpreter's cache tag —
-marshal'd code objects are bytecode, valid only for the interpreter
-version that produced them.  Set ``REPRO_CODE_CACHE=0`` to disable the
-disk layer (the in-process memo stays).
+The digest covers the *source text*, the caller's emitter version, and
+the interpreter's cache tag — marshal'd code objects are bytecode, valid
+only for the interpreter version that produced them, and an emitter can
+change what a binding name *means* without changing the source it emits,
+so the version constant keeps an edited emitter from replaying a stale
+code object written by an older one.  Set ``REPRO_CODE_CACHE=0`` to
+disable the disk layer (the in-process memo stays).
 """
 
 from __future__ import annotations
@@ -25,10 +28,10 @@ import sys
 import tempfile
 from pathlib import Path
 from types import CodeType
-from typing import Dict
+from typing import Dict, Tuple
 
-#: In-process memo: source text -> compiled code object.
-_MEMO: Dict[str, CodeType] = {}
+#: In-process memo: (emitter version, source text) -> compiled code object.
+_MEMO: Dict[Tuple[int, str], CodeType] = {}
 
 
 def enabled() -> bool:
@@ -43,26 +46,30 @@ def cache_dir() -> Path:
     return root / "codegen"
 
 
-def _path_for(source: str) -> Path:
+def _path_for(source: str, version: int) -> Path:
     digest = hashlib.sha256(
-        f"tag={sys.implementation.cache_tag};".encode() + source.encode()
+        f"tag={sys.implementation.cache_tag};v={version};".encode()
+        + source.encode()
     ).hexdigest()[:24]
     return cache_dir() / f"{digest}.code"
 
 
-def load_or_compile(source: str, filename: str) -> CodeType:
+def load_or_compile(source: str, filename: str, *, version: int = 0) -> CodeType:
     """Return the compiled form of ``source``, memoised twice.
 
-    In-process by source text, and on disk by source digest so a fresh
-    process skips the compile.  ``filename`` is what tracebacks and
-    profiles show for the generated code.
+    In-process by (``version``, source text), and on disk by the digest of
+    the same pair so a fresh process skips the compile.  ``filename`` is
+    what tracebacks and profiles show for the generated code; ``version``
+    is the caller's emitter-version constant (bump it whenever the emitter
+    changes semantics without changing emitted text).
     """
-    code = _MEMO.get(source)
+    memo_key = (version, source)
+    code = _MEMO.get(memo_key)
     if code is not None:
         return code
     path = None
     if enabled():
-        path = _path_for(source)
+        path = _path_for(source, version)
         try:
             code = marshal.loads(path.read_bytes())
             if not isinstance(code, CodeType):
@@ -70,10 +77,10 @@ def load_or_compile(source: str, filename: str) -> CodeType:
         except (OSError, ValueError, EOFError, TypeError):
             code = None
         if code is not None:
-            _MEMO[source] = code
+            _MEMO[memo_key] = code
             return code
     code = compile(source, filename, "exec")
-    _MEMO[source] = code
+    _MEMO[memo_key] = code
     if path is not None:
         try:
             path.parent.mkdir(parents=True, exist_ok=True)

@@ -36,7 +36,8 @@ across every registered mechanism.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Optional
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, Optional, Tuple
 
 from repro.cache.cache import DIRTY, PREFETCHED
 from repro.cpu import codecache
@@ -50,7 +51,101 @@ EVENT_DRAINS = 1
 ABORT_QUEUED_PREFETCH = 2
 ABORT_MISS = 3
 
+#: Bump whenever the emitters change *semantics* without changing the
+#: emitted source text — what a binding name refers to, what the exec
+#: namespace carries, where the caller splices the block.  The constant is
+#: folded into the disk code-cache key (:mod:`repro.cpu.codecache`), so an
+#: emitter edit can never replay a stale generated code object written by
+#: an older emitter under the same source digest.
+EMITTER_VERSION = 2
+
 ReplayFn = Callable[..., Optional[int]]
+
+
+# -- machine-readable emitter metadata -----------------------------------------
+#
+# The SIM8xx guard-completeness verifier (repro.analysis.fastpath) parses
+# the *emitted* source and proves, per machine shape, that every piece of
+# simulator state the generated code touches is covered.  These tables are
+# the proof obligations' vocabulary; they live here, next to the emitters,
+# so the two evolve in one diff.
+
+@dataclass(frozen=True)
+class GuardSpec:
+    """One guard the emitters bake into every replay sequence.
+
+    ``counter`` is the ``counts_`` slot the guard bumps when it fires
+    (the verifier checks the baked index), and ``protects`` names the
+    canonical states whose premise-read the guard re-validates at replay
+    time — state protected by no guard and not provably invariant is a
+    SIM801 violation.
+    """
+
+    name: str
+    counter: int
+    protects: Tuple[str, ...]
+
+
+#: The guards, in the order the emitters lay them out: due kernel events
+#: are drained first, then the prefetch queues are checked, then the tag
+#: probe.  The verifier requires exactly this order — the queue and tag
+#: guards are only sound *after* the drain has run whatever the events
+#: would have mutated.
+GUARDS: Tuple[GuardSpec, ...] = (
+    GuardSpec("event-drain", EVENT_DRAINS, ("kernel.events", "kernel.clock")),
+    GuardSpec("queued-prefetch", ABORT_QUEUED_PREFETCH, ("mechanism.queue",)),
+    GuardSpec("resident", ABORT_MISS,
+              ("cache.tags", "cache.ready", "cache.touch", "cache.flags")),
+)
+
+#: Canonical simulator state per emitter binding name (prefixes such as
+#: ``ld_`` stripped; ``queue<N>`` bindings map to ``mechanism.queue`` by
+#: pattern).  A name the emitted source references that resolves to no
+#: entry here is *unaccounted state* — SIM801.
+STATE_OF_BINDING: Dict[str, str] = {
+    "tags": "cache.tags",
+    "tags_index": "cache.tags",
+    "ready_arr": "cache.ready",
+    "touch": "cache.touch",
+    "flags": "cache.flags",
+    "pipe": "cache.pipeline",
+    "ports": "cache.ports",
+    "ledger": "cache.ports",
+    "ledger_get": "cache.ports",
+    "st_kind": "cache.stat.kind",
+    "st_useful": "cache.stat.useful",
+    "st_outer": "hierarchy.stat",
+    "image_write": "image",
+    "hook": "mechanism.hook",
+    "sim": "kernel.clock",
+    "event_times": "kernel.events",
+    "run_until": "kernel.events",
+    "counts_": "speculation.counters",
+    # Bindings of the generated run loop (repro.cpu.ooo._emit_fast_loop).
+    "latency": "core.tables",
+    "fu_of": "core.tables",
+    "h_load": "hierarchy.slowpath",
+    "h_store": "hierarchy.slowpath",
+    "h_fetch": "hierarchy.slowpath",
+    "deque": "local",
+    "sampler_sample": "obs.sampler",
+}
+
+#: States the fast path may touch without a guard because it only touches
+#: them in the commit region, performing exactly the writes the slow
+#: path's hit case performs (the SIM802 sequence check pins that): stat
+#: bumps, resource ledgers, the write-through image, the mechanism hook,
+#: and the speculation counters (diagnostics, not part of any result).
+INVARIANT_STATES = frozenset({
+    "cache.ports", "cache.pipeline", "cache.stat.kind", "cache.stat.useful",
+    "hierarchy.stat", "image", "mechanism.hook", "speculation.counters",
+    "core.tables", "hierarchy.slowpath", "obs.sampler", "local",
+})
+
+
+def _guard_tag(spec: GuardSpec) -> str:
+    """The comment line tagging one emitted guard with what it protects."""
+    return f"# guard[{spec.name}] protects: {', '.join(spec.protects)}"
 
 
 def _emit_hit(cache, is_write, is_ifetch, hierarchy, queued, *, prefix,
@@ -106,6 +201,7 @@ def _emit_hit(cache, is_write, is_ifetch, hierarchy, queued, *, prefix,
         # *drained*, not aborted on: advance() would run exactly this drain
         # before the access proceeds.  The queue and tag guards below run
         # after it, so anything the events mutate is seen.
+        f"{i0}{_guard_tag(GUARDS[0])}",
         f"{i0}if event_times and event_times[0] <= {time}:",
         f"{i1}run_until({time})",
         f"{i1}counts_[{EVENT_DRAINS}] += 1",
@@ -113,6 +209,7 @@ def _emit_hit(cache, is_write, is_ifetch, hierarchy, queued, *, prefix,
     # -- guards (pure: a failed guard leaves no trace beyond the drain the
     # slow path would also have run) ------------------------------------------
     for qi in range(len(queued)):
+        lines.append(f"{i0}{_guard_tag(GUARDS[1])}")
         lines.append(f"{i0}if queue{qi}:")
         lines.append(f"{i1}counts_[{ABORT_QUEUED_PREFETCH}] += 1")
         lines += [i1 + s for s in on_abort()]
@@ -120,6 +217,7 @@ def _emit_hit(cache, is_write, is_ifetch, hierarchy, queued, *, prefix,
     lines += [
         f"{i0}{p}block = {addr} >> {cache.line_bits}",
         f"{i0}{p}base = ({p}block & {cache._set_mask}) * {assoc}",
+        f"{i0}{_guard_tag(GUARDS[2])}",
         f"{i0}try:",
         f"{i1}{p}slot = {p}tags_index({p}block, {p}base, {p}base + {assoc})",
         f"{i0}except ValueError:",
@@ -202,6 +300,40 @@ def _emit_hit(cache, is_write, is_ifetch, hierarchy, queued, *, prefix,
     lines.append(f"{i0}counts_[{COMMITS}] += 1")
     lines += [i0 + s for s in on_commit(f"{p}ready")]
     return lines, bindings
+
+
+def emit_replay_source(hierarchy, kind):
+    """Emit one replay closure's full source for ``kind`` on ``hierarchy``.
+
+    ``kind`` is ``"load"``, ``"store"`` or ``"ifetch"``.  Returns
+    ``(source, bindings)`` where ``source`` is a complete
+    ``def replay(pc, addr, time, value=None):`` definition and ``bindings``
+    maps every free name the source references to the live object it must
+    be bound to (``counts_`` is left ``None`` for the caller to fill).
+
+    This is the single emission path shared by :class:`TraceSpeculator`
+    (which compiles and executes the source) and the SIM8xx
+    guard-completeness verifier (:mod:`repro.analysis.fastpath`, which
+    parses it) — whatever the speculator runs is, by construction, exactly
+    what the verifier proves things about.
+    """
+    mech = hierarchy.mechanism
+    queued = tuple(q._queue for q in mech.iter_queues()) if mech else ()
+    cache = hierarchy.l1i if kind == "ifetch" else hierarchy.l1d
+    lines, bindings = _emit_hit(
+        cache,
+        is_write=(kind == "store"),
+        is_ifetch=(kind == "ifetch"),
+        hierarchy=hierarchy,
+        queued=queued,
+        prefix="",
+        pc="pc", addr="addr", time="time", value="value",
+        on_abort=lambda: ["return None"],
+        on_commit=lambda ready: [f"return {ready}"],
+        indent="    ",
+    )
+    source = "\n".join(["def replay(pc, addr, time, value=None):"] + lines)
+    return source, bindings
 
 
 def emit_hit_inline(counts, hierarchy, kind, *, prefix, result,
@@ -321,34 +453,23 @@ class TraceSpeculator:
         analogue of emitting the speculated block: the recorded sequence
         *is* the compiled function body.
         """
-        mech = hierarchy.mechanism
-        # The underlying deques: cheap truthiness, stable identity.
-        queued = tuple(q._queue for q in mech.iter_queues()) if mech else ()
-
-        def compile_hit(cache, is_write, is_ifetch):
-            """Generate + compile the linear hit sequence for one cache."""
-            lines, namespace = _emit_hit(
-                cache, is_write, is_ifetch, hierarchy, queued,
-                prefix="",
-                pc="pc", addr="addr", time="time", value="value",
-                on_abort=lambda: ["return None"],
-                on_commit=lambda ready: [f"return {ready}"],
-                indent="    ",
-            )
+        def compile_hit(kind):
+            """Generate + compile the linear hit sequence for one kind."""
+            source, namespace = emit_replay_source(hierarchy, kind)
             namespace["counts_"] = self.counts
-            source = "\n".join(
-                ["def replay(pc, addr, time, value=None):"] + lines
+            code = codecache.load_or_compile(
+                source, "<repro.cpu.fastpath>", version=EMITTER_VERSION
             )
-            code = codecache.load_or_compile(source, "<repro.cpu.fastpath>")
             exec(code, namespace)  # noqa: S102 - closed namespace, own source
             return namespace["replay"]
 
         # All three share the ``(pc, addr, time, value=None)`` signature so
         # callers pay no adapter frame.  Instruction fetch passes the PC as
-        # the address and never reaches a mechanism hook (compile_hit drops
-        # the hook for the ifetch case, mirroring the INSTRUCTION_PC rule).
+        # the address and never reaches a mechanism hook (emit_replay_source
+        # drops the hook for the ifetch case, mirroring the INSTRUCTION_PC
+        # rule).
         return (
-            compile_hit(hierarchy.l1d, False, False),
-            compile_hit(hierarchy.l1d, True, False),
-            compile_hit(hierarchy.l1i, False, True),
+            compile_hit("load"),
+            compile_hit("store"),
+            compile_hit("ifetch"),
         )

@@ -32,7 +32,8 @@ from typing import Dict, Optional, Sequence
 from repro.cache.hierarchy import MemoryHierarchy
 from repro.core.config import CoreConfig
 from repro.cpu import codecache
-from repro.cpu.fastpath import TraceSpeculator, emit_hit_inline
+from repro.cpu.fastpath import EMITTER_VERSION, TraceSpeculator, emit_hit_inline
+from repro.hotpath import hotpath
 from repro.isa.instr import FU_LATENCY, FU_POOL, Op
 from repro.kernel.module import Component
 from repro.kernel.resources import MultiPortResource
@@ -151,6 +152,7 @@ class OoOCore(Component):
             TRACER.end(instructions=stats.instructions, cycles=stats.cycles)
         return stats
 
+    @hotpath
     def _slow_loop(self, trace: Sequence, measure_from: int, sampler):
         """The reference pipeline walk, interpreted, no speculation.
 
@@ -333,10 +335,29 @@ class OoOCore(Component):
         return latency, fu_of
 
     def _compile_fast_loop(self, speculator: TraceSpeculator, sampler):
+        """Compile the generated pipeline walk for this core.
+
+        Emission (:meth:`_emit_fast_loop`) and compilation are split so the
+        SIM8xx guard-completeness verifier can obtain the exact source the
+        fast path will run without executing anything.  Code objects are
+        cached by source + emitter version (the only variation is baked
+        constants), so repeated runs of one machine shape recompile nothing.
+        """
+        source, bind = self._emit_fast_loop(speculator.counts, sampler)
+        code = codecache.load_or_compile(
+            source, "<repro.cpu.ooo.fastloop>", version=EMITTER_VERSION
+        )
+        namespace = {f"g_{name}": obj for name, obj in bind.items()}
+        exec(code, namespace)  # noqa: S102 - closed namespace, own source
+        return namespace["run_loop"]
+
+    def _emit_fast_loop(self, counts, sampler):
         """Generate the pipeline walk as one straight-line function.
 
-        The source is :meth:`_slow_loop` translated statement for statement,
-        with three substitutions:
+        Returns ``(source, bind)``: the full ``def run_loop(...)`` source
+        and the namespace objects it expects (bound under ``g_`` names and
+        re-localized in the preamble).  The source is :meth:`_slow_loop`
+        translated statement for statement, with three substitutions:
 
         * configuration constants (widths, queue sizes, line bits, the
           mispredict penalty, the ring mask) are baked as literals;
@@ -350,13 +371,10 @@ class OoOCore(Component):
 
         Everything else — hierarchy calls, FU ledgers, stat objects — is
         bound through the exec namespace, localized once in the preamble.
-        Code objects are cached by source (the only variation is baked
-        constants), so repeated runs of one machine shape recompile nothing.
         """
         hierarchy = self.hierarchy
         cfg = self.config
         latency, fu_of = self._dispatch_tables()
-        counts = speculator.counts
 
         bind = {
             "latency": latency,
@@ -526,11 +544,7 @@ class OoOCore(Component):
             "            n_stores, n_branches, n_mispredicts,",
             "            load_latency_total)",
         ]
-        source = "\n".join(lines)
-        code = codecache.load_or_compile(source, "<repro.cpu.ooo.fastloop>")
-        namespace = {f"g_{name}": obj for name, obj in bind.items()}
-        exec(code, namespace)  # noqa: S102 - closed namespace, own source
-        return namespace["run_loop"]
+        return "\n".join(lines), bind
 
     def reset(self) -> None:
         for pool in self.fu.values():

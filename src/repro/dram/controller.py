@@ -16,6 +16,7 @@ from typing import List, Optional
 from repro.core.config import SDRAMConfig
 from repro.dram.scheduling import PERMUTATION_INTERLEAVE
 from repro.dram.sdram import SDRAM
+from repro.hotpath import hotpath
 from repro.kernel.module import Component
 from repro.obs.tracing import TRACER
 
@@ -47,6 +48,7 @@ class SDRAMController(Component):
             "total_latency", "request-to-data latency including queue wait"
         )
 
+    @hotpath
     def access(self, addr: int, time: int, is_write: bool = False) -> int:
         """Present a line request at ``time``; return the data-ready cycle.
 
@@ -73,11 +75,13 @@ class SDRAMController(Component):
                        write=is_write)
         return ready
 
+    @hotpath
     def occupancy(self, time: int) -> int:
         """Requests still in flight at ``time`` (for prefetch throttling)."""
-        while self._slots and self._slots[0] <= time:
-            heapq.heappop(self._slots)
-        return len(self._slots)
+        slots = self._slots
+        while slots and slots[0] <= time:
+            heapq.heappop(slots)
+        return len(slots)
 
     @property
     def average_latency(self) -> float:

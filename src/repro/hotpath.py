@@ -1,0 +1,45 @@
+"""The ``@hotpath`` marker: a machine-readable contract for hot functions.
+
+The simulator's throughput rests on a handful of functions that run once
+per trace record or once per kernel event — the drain loop, the cache
+probe/fill path, the pipeline walks, the DRAM front end, the decay
+callbacks.  PR 6 bought its speedup by hand-hoisting attribute chains and
+keeping allocation out of those bodies, and nothing but convention stops
+an ordinary refactor from quietly undoing that work.
+
+``@hotpath`` turns the convention into a contract.  Decorating a function
+does nothing at runtime (the decorator returns its argument unchanged, so
+there is no call or attribute overhead anywhere); what it does is opt the
+function's body into the SIM7xx family of simlint rules
+(:mod:`repro.analysis.hotpath`), which then flag:
+
+* SIM701 — repeated un-hoisted attribute chains in loops;
+* SIM702 — allocation (displays, comprehensions, f-strings, list ``+``)
+  in the per-iteration body;
+* SIM703 — ``try``/``with`` blocks entered per iteration;
+* SIM704 — loop-invariant constant-key subscripts left un-hoisted;
+* SIM705 — per-iteration calls through ``self.``.
+
+The contract, precisely: inside a marked function, the *hot scope* is the
+body of every loop it contains, or the whole body when it contains no
+loop (a loop-free marked function is itself the per-event/per-record
+unit, e.g. a kernel callback or ``Cache.access``).  Within the hot scope
+the five rules above must either hold or carry an explicit
+``# simlint: allow[SIM70x] <reason>`` justification — deliberate costs
+are fine, silent ones are not.
+
+Mark the function that *is* the per-record/per-event unit, not its
+callers; see docs/analysis.md ("Hot-path lint & fast-path verification")
+for the rule catalogue with fix examples.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, TypeVar
+
+F = TypeVar("F", bound=Callable[..., object])
+
+
+def hotpath(fn: F) -> F:
+    """Mark ``fn`` as hot-path code policed by the SIM7xx lint rules."""
+    return fn

@@ -27,6 +27,7 @@ import heapq
 import itertools
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro.hotpath import hotpath
 from repro.obs.tracing import TRACER
 from repro.sanitize import SANITIZE, sanitize_failure
 
@@ -94,6 +95,7 @@ class Simulator:
         self._draining = False
         self.now: int = 0
 
+    @hotpath
     def schedule(self, time: int, fn: Callable[..., object], *args: Any) -> Event:
         """Schedule ``fn(*args)`` at absolute cycle ``time``.
 
@@ -111,6 +113,7 @@ class Simulator:
         event = Event(time, next(self._seq), fn, args, self)
         bucket = self._buckets.get(time)
         if bucket is None:
+            # simlint: allow[SIM702] first event of a cycle must open its bucket list
             self._buckets[time] = [event]
             heapq.heappush(self._times, time)
         else:
@@ -166,6 +169,7 @@ class Simulator:
         if self._times:
             self._drain(None)
 
+    @hotpath
     def _drain(self, limit: Optional[int]) -> None:
         """Fire buckets in time order up to ``limit`` (``None`` = everything).
 

@@ -26,6 +26,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Dict, List, Optional
 
+from repro.hotpath import hotpath
 from repro.mechanisms.base import Mechanism, StructureSpec
 from repro.mechanisms.victim import VictimCache
 
@@ -120,6 +121,7 @@ class TimekeepingPrefetcher(Mechanism):
 
     # -- decay machinery ------------------------------------------------------------
 
+    @hotpath
     def _touch(self, block: int, time: int) -> None:
         quantized = time - time % self.REFRESH
         last_touch = self._last_touch
@@ -140,6 +142,7 @@ class TimekeepingPrefetcher(Mechanism):
                 quantized + self.threshold + 1, self._check_dead, block, quantized
             )
 
+    @hotpath
     def _check_dead(self, block: int, touch_seen: int) -> None:
         last = self._last_touch.get(block)
         if last is None or last != touch_seen:

@@ -1,0 +1,11 @@
+"""Known-bad: SIM702 — allocating a fresh object on every hot iteration."""
+
+from repro.hotpath import hotpath
+
+
+@hotpath
+def collect(events):
+    last = None
+    for event in events:
+        last = [event.time, event.kind]
+    return last

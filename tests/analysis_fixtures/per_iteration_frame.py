@@ -1,0 +1,18 @@
+"""Known-bad: SIM703 — a try frame set up and torn down per iteration.
+
+The handler does real work on a narrow exception type so this snippet
+exercises only the hot-path rule, not the SIM601 robustness rule.
+"""
+
+from repro.hotpath import hotpath
+
+
+@hotpath
+def lookup(table, keys):
+    hits = 0
+    for key in keys:
+        try:
+            hits += table.index(key)
+        except ValueError:
+            hits -= 1
+    return hits

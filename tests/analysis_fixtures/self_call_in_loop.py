@@ -1,0 +1,13 @@
+"""Known-bad: SIM705 — method dispatch through ``self`` on every iteration."""
+
+from repro.hotpath import hotpath
+
+
+class Clock:
+    def advance(self, event):
+        return event
+
+    @hotpath
+    def tick(self, events):
+        for event in events:
+            self.advance(event)

@@ -1,0 +1,64 @@
+"""Known-bad: SIM801 — an emitted replay with its event-drain guard dropped.
+
+Without the drain, kernel events due at or before ``time`` would fire
+*after* the replay commits: the replay reads and advances the kernel
+clock against stale state.  The verifier flags both the missing guard
+and the now-unprotected ``kernel.clock`` write.
+"""
+# sim-fastpath: kind=load queues=0 hook=0 precise=1 image=0 line_bits=5 set_mask=1023 assoc=1 n_ports=4 latency=1 prune_every=8192
+
+
+def replay(pc, addr, time, value=None):
+    block = addr >> 5
+    base = (block & 1023) * 1
+    # guard[resident] protects: cache.tags, cache.ready, cache.touch, cache.flags
+    try:
+        slot = tags_index(block, base, base + 1)
+    except ValueError:
+        counts_[3] += 1
+        return None
+    if time > sim.now:
+        sim.now = time
+    st_outer.value += 1
+    next_start = pipe._next_start
+    t = time if next_start <= time else next_start
+    pipe._next_start = t + 1
+    pipe.accepts += 1
+    floor = ports._floor
+    if t < floor:
+        t = floor
+    count = ledger_get(t)
+    if count is None:
+        ledger[t] = 1
+    else:
+        while count is not None and count >= 4:
+            t += 1
+            count = ledger_get(t)
+        ledger[t] = 1 if count is None else count + 1
+    ports.grants += 1
+    if len(ledger) > 8192:
+        ports._prune(t)
+    st_kind.value += 1
+    if slot != base:
+        line_ready = ready_arr[slot]
+        line_flags = flags[slot]
+        tags[base + 1:slot + 1] = tags[base:slot]
+        tags[base] = block
+        ready_arr[base + 1:slot + 1] = ready_arr[base:slot]
+        ready_arr[base] = line_ready
+        touch[base + 1:slot + 1] = touch[base:slot]
+        flags[base + 1:slot + 1] = flags[base:slot]
+    else:
+        line_ready = ready_arr[base]
+        line_flags = flags[base]
+    was_prefetched = line_flags & 2
+    if was_prefetched:
+        line_flags &= -3
+        st_useful.value += 1
+    flags[base] = line_flags
+    touch[base] = t
+    ready = t + 1
+    if line_ready > ready:
+        ready = line_ready
+    counts_[0] += 1
+    return ready

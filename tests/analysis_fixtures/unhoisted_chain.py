@@ -1,0 +1,12 @@
+"""Known-bad: SIM701 — repeated attribute chain not hoisted out of a loop."""
+
+from repro.hotpath import hotpath
+
+
+@hotpath
+def probe(machine, addrs):
+    total = 0
+    for addr in addrs:
+        total += machine.cache.latency + addr
+        total -= machine.cache.latency
+    return total

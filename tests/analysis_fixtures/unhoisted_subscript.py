@@ -1,0 +1,11 @@
+"""Known-bad: SIM704 — loop-invariant constant-key subscript in a loop."""
+
+from repro.hotpath import hotpath
+
+
+@hotpath
+def widths(config, rows):
+    total = 0
+    for row in rows:
+        total += row * config["width"]
+    return total

@@ -44,6 +44,14 @@ FIXTURE_RULES = {
     "fstring_span.py": "SIM502",
     "swallowed_exception.py": "SIM601",
     "trapped_interrupt.py": "SIM602",
+    "unhoisted_chain.py": "SIM701",
+    "loop_allocation.py": "SIM702",
+    "per_iteration_frame.py": "SIM703",
+    "unhoisted_subscript.py": "SIM704",
+    "self_call_in_loop.py": "SIM705",
+    "unguarded_state.py": "SIM801",
+    "replay_out_of_order.py": "SIM802",
+    "stale_constant.py": "SIM803",
 }
 
 
@@ -126,6 +134,42 @@ def test_bare_allow_is_itself_flagged(tmp_path):
     assert {v.rule for v in analyze_paths([bad])} == {"SIM001"}
 
 
+def test_full_run_parses_each_file_exactly_once():
+    from repro.analysis.core import clear_parse_cache, parse_count
+
+    clear_parse_cache()
+    try:
+        n_files = len(list(SRC_TREE.rglob("*.py")))
+        analyze_paths([SRC_TREE])
+        assert parse_count() == n_files
+        # A second run over the same (unchanged) tree is served entirely
+        # from the parse cache.
+        analyze_paths([SRC_TREE])
+        assert parse_count() == n_files
+    finally:
+        clear_parse_cache()
+
+
+def test_parse_cache_notices_edits(tmp_path):
+    from repro.analysis.core import clear_parse_cache, parse_count
+
+    clear_parse_cache()
+    try:
+        snippet = tmp_path / "snippet.py"
+        snippet.write_text("A = 1\n")
+        analyze_paths([snippet])
+        assert parse_count() == 1
+        # Same content, same mtime: cached.
+        analyze_paths([snippet])
+        assert parse_count() == 1
+        snippet.write_text("A = 2  # changed\n")
+        os.utime(snippet, ns=(1, 1))  # force a distinct mtime
+        analyze_paths([snippet])
+        assert parse_count() == 2
+    finally:
+        clear_parse_cache()
+
+
 def test_syntax_error_becomes_sim000(tmp_path):
     bad = tmp_path / "broken.py"
     bad.write_text("def oops(:\n")
@@ -151,6 +195,35 @@ def test_cli_violations_exit_one():
     proc = _run_cli(str(FIXTURES / "wall_clock.py"))
     assert proc.returncode == 1
     assert "SIM202" in proc.stdout
+
+
+def test_cli_sarif_format():
+    import json
+
+    proc = _run_cli(str(FIXTURES / "wall_clock.py"), "--format", "sarif")
+    assert proc.returncode == 1
+    report = json.loads(proc.stdout)
+    assert report["version"] == "2.1.0"
+    run = report["runs"][0]
+    assert run["tool"]["driver"]["name"] == "simlint"
+    rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+    results = run["results"]
+    assert results, "expected at least one SARIF result"
+    for result in results:
+        assert result["ruleId"] in rule_ids
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"].endswith("wall_clock.py")
+        assert location["region"]["startLine"] >= 1
+    assert any(r["ruleId"] == "SIM202" for r in results)
+
+
+def test_cli_sarif_clean_tree():
+    import json
+
+    proc = _run_cli(str(SRC_TREE), "--format", "sarif")
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    report = json.loads(proc.stdout)
+    assert report["runs"][0]["results"] == []
 
 
 def test_cli_bad_path_exits_two():
