@@ -152,6 +152,16 @@ def _build_executor(args) -> Executor:
     policy = RetryPolicy(
         retries=args.retries, timeout=args.timeout, strict=args.strict
     )
+    if args.serve:
+        # Fleet mode: simulations run on the sweep service
+        # (python -m repro.serve); the service owns durability through
+        # its own queue/lease WALs, so the client journals nothing.
+        from repro.serve import ServeExecutor
+
+        return ServeExecutor(
+            socket_path=args.serve, client_id=f"cli-{os.getpid()}",
+            store=store, policy=policy, shutdown=SHUTDOWN,
+        )
     # Durability: multi-spec sweeps journal next to the store, so every
     # cached run is also resumable.  --no-cache has nowhere to journal
     # (and nothing a resume could serve results from).
@@ -193,6 +203,8 @@ def _append_ledger_entry(command: str, executor: Executor) -> None:
             "timeouts": float(telemetry.timeouts),
             "pool_rebuilds": float(telemetry.pool_rebuilds),
             "store_corrupt": float(telemetry.store_corrupt),
+            "leased": float(getattr(telemetry, "leased", 0)),
+            "shared": float(getattr(telemetry, "shared", 0)),
         },
     )
     Ledger().append(record)
@@ -309,6 +321,12 @@ def main(argv=None) -> int:
                         help="cProfile the command and print the top 25 "
                              "cumulative-time functions to stderr (forces "
                              "--jobs 1 --no-cache)")
+    parser.add_argument("--serve", metavar="SOCKET", default=None,
+                        help="submit simulations to the sweep service "
+                             "listening on SOCKET (python -m repro.serve) "
+                             "instead of simulating locally; overlapping "
+                             "sweeps from concurrent clients are deduped "
+                             "in flight, stdout is byte-identical")
     parser.add_argument("--no-fast", dest="fast", action="store_false",
                         default=True,
                         help="run on the interpreted reference loop instead "
@@ -328,6 +346,11 @@ def main(argv=None) -> int:
         parser.error("--resume needs the result store (drop --no-cache): "
                      "the journal only records *that* specs finished; the "
                      "results themselves live in the cache")
+    if args.resume and args.serve:
+        parser.error("--resume is a local-journal feature; fleet "
+                     "submissions are already durable in the service's "
+                     "queue (just re-submit: resolved specs answer from "
+                     "the store)")
     executor = set_default_executor(_build_executor(args))
     # Graceful shutdown is a CLI concern: libraries never install signal
     # handlers, the CLI does, around exactly the command execution.

@@ -5,6 +5,7 @@ Examples::
     python -m repro.exec fsck                       # verify the default store
     python -m repro.exec fsck --cache-dir .cache    # a specific store
     python -m repro.exec fsck --prune               # remove what fails
+    python -m repro.exec fsck --migrate             # shard flat v3 entries
 
 ``fsck`` runs the offline integrity pass over every result-store entry
 (:meth:`~repro.exec.store.ResultStore.verify_entry` — parse, version,
@@ -14,6 +15,14 @@ journals found alongside the store.  ``--prune`` removes defective
 entries and stale temps, and retires journals whose sweeps completed
 (a finished journal serves nothing; an *incomplete* one is what
 ``--resume`` needs and is never pruned).
+
+``fsck`` also understands the sharded layout (``ab/<hash>.json``): it
+audits every shard, cross-checks each entry's shard prefix against its
+filename hash (a misfiled entry is a defect — reads probe only the
+right shard), and counts entries still in the flat pre-shard layout.
+``--migrate`` moves those into their shards first — idempotent and
+atomic per entry (one ``os.replace`` each), so it is safe to interrupt
+and safe to run while readers are live.
 
 Every invocation appends its report as one ``fsck`` record to
 ``<journal-dir>/fsck.jsonl`` — the same append-only, fsync'd discipline
@@ -34,7 +43,7 @@ from repro.exec.store import ResultStore
 
 def _cmd_fsck(args: argparse.Namespace) -> int:
     store = ResultStore(args.cache_dir)  # None -> default cache dir
-    report = store.fsck(prune=args.prune)
+    report = store.fsck(prune=args.prune, migrate=args.migrate)
     print(report.render())
 
     journals = scan_journals(store.journal_dir)
@@ -87,6 +96,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     fsck.add_argument("--prune", action="store_true",
                       help="remove defective entries, stale temps and "
                            "finished sweep journals")
+    fsck.add_argument("--migrate", action="store_true",
+                      help="move flat-layout entries into their hash-prefix "
+                           "shards before scanning (idempotent, atomic per "
+                           "entry)")
     args = parser.parse_args(argv)
     if args.subcommand == "fsck":
         return _cmd_fsck(args)

@@ -37,6 +37,13 @@ Fault kinds (grammar: comma-separated ``kind:rate`` pairs plus ``seed=N``):
   the journal's corruption-tolerant replay.  Decided per (record kind,
   spec, append sequence number), so a re-appended record after resume
   lands on a fresh schedule slot.
+* ``kill-worker`` — a fleet worker (:mod:`repro.serve`) ``os._exit``\\ s
+  after durably leasing a spec but before simulating it; exercises the
+  lease-expiry/reclaim path.  Decided per spec on the *first* lease
+  only (the worker consults it only when its lease record carries
+  count 1), so a reclaimed lease always runs to completion and a
+  chaos fleet provably converges — the same one-shot shape as
+  ``kill-orchestrator``.
 
 Like :mod:`repro.sanitize`, the environment variable is read **once, at
 import**: worker processes inherit the environment (and, under the
@@ -61,11 +68,16 @@ FAULTS_ENV = "REPRO_FAULTS"
 
 #: Recognised fault kinds, in the order they are checked per attempt.
 FAULT_KINDS = ("die", "hang", "crash", "corrupt-store",
-               "kill-orchestrator", "corrupt-journal")
+               "kill-orchestrator", "corrupt-journal", "kill-worker")
 
 #: Exit code of an injected orchestrator kill (EX_TEMPFAIL: rerunnable,
 #: distinct from the watchdog's 70 and the signal exits 130/143).
 KILL_ORCHESTRATOR_EXIT = 75
+
+#: Exit code of an injected fleet-worker kill (distinct from the codes
+#: above so the fleet launcher can tell an injected death from a real
+#: one and respawn exactly those).
+KILL_WORKER_EXIT = 76
 
 
 class InjectedCrash(RuntimeError):
@@ -98,6 +110,7 @@ class FaultPlan:
     corrupt_store: float = 0.0
     kill_orchestrator: float = 0.0
     corrupt_journal: float = 0.0
+    kill_worker: float = 0.0
     seed: int = 0
     #: How long an injected hang sleeps in a pool worker; far beyond any
     #: reasonable ``--timeout`` so the watchdog always wins.
@@ -115,6 +128,7 @@ class FaultPlan:
             "corrupt-store": self.corrupt_store,
             "kill-orchestrator": self.kill_orchestrator,
             "corrupt-journal": self.corrupt_journal,
+            "kill-worker": self.kill_worker,
         }[kind]
 
     def decide(self, kind: str, spec_hash: str, attempt: int) -> bool:
@@ -184,6 +198,7 @@ def parse_fault_spec(text: str) -> Optional[FaultPlan]:
         corrupt_store=rates["corrupt-store"],
         kill_orchestrator=rates["kill-orchestrator"],
         corrupt_journal=rates["corrupt-journal"],
+        kill_worker=rates["kill-worker"],
         seed=seed,
     )
 
@@ -275,6 +290,24 @@ def should_kill_orchestrator(
     if plan is None:
         return False
     return plan.decide("kill-orchestrator", spec_hash, 1)
+
+
+def should_kill_worker(
+    plan: Optional[FaultPlan], spec_hash: str,
+) -> bool:
+    """Whether a fleet worker dies after durably leasing ``spec_hash``.
+
+    Only the *decision* lives here; the worker performs the
+    ``os._exit(KILL_WORKER_EXIT)`` after its lease record is fsync'd
+    (so reclaim is actually exercised) and only when that lease is the
+    spec's **first** — the caller checks the lease count before asking.
+    Keyed on (spec, attempt 1) like ``kill-orchestrator``: the re-lease
+    after expiry carries count 2, never consults the schedule, and runs
+    to completion, so a chaos fleet provably converges.
+    """
+    if plan is None:
+        return False
+    return plan.decide("kill-worker", spec_hash, 1)
 
 
 def maybe_corrupt_journal_line(

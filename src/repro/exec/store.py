@@ -28,6 +28,18 @@ instead of silently polluting every downstream exhibit.  v2 entries
 invalidates a warm cache.  ``python -m repro.exec fsck`` runs the same
 verification offline over the whole store (:meth:`ResultStore.fsck`),
 optionally pruning what fails it.
+
+Sharding: entries live under a two-hex-character shard directory keyed
+by the leading byte of the content hash (``ab/<hash>.json``).  One flat
+directory stops scaling long before the "millions of entries" target —
+directory lookups, ``readdir`` over the entry glob and the stale-temp
+sweep all degrade linearly, and a fleet of workers (:mod:`repro.serve`)
+hammering one directory contends on its lock in the kernel.  256 shards
+cap any single directory at 1/256th of the store.  Reads fall through
+transparently to the *flat* pre-shard layout, so a warm v3 store keeps
+answering without a flag day; ``python -m repro.exec fsck --migrate``
+moves flat entries into their shards (idempotent, atomic per entry,
+safe under live readers because reads check the shard first).
 """
 
 from __future__ import annotations
@@ -54,6 +66,19 @@ STORE_VERSION = 3
 #: Versions :meth:`ResultStore.get` accepts.  v2 entries carry no
 #: checksum; everything else about their payload is identical.
 COMPAT_VERSIONS = (2, STORE_VERSION)
+
+#: Leading hash characters that name an entry's shard directory.
+SHARD_WIDTH = 2
+
+#: Glob matching shard directories (two lowercase hex characters), used
+#: so sibling subdirectories (``journal``, ``serve``, ``codegen``) never
+#: read as shards.
+_SHARD_GLOB = "[0-9a-f]" * SHARD_WIDTH
+
+
+def _is_content_hash(stem: str) -> bool:
+    """Whether a file stem looks like a SHA-256 content hash."""
+    return len(stem) == 64 and all(c in "0123456789abcdef" for c in stem)
 
 
 def result_checksum(result_payload: Dict[str, Any]) -> str:
@@ -118,6 +143,11 @@ class FsckReport:
     scanned: int = 0
     ok: int = 0
     ok_legacy: int = 0          # readable v2 entries (no checksum to verify)
+    #: Sound entries still in the flat pre-shard layout (``--migrate``
+    #: moves them into their shards).
+    flat_entries: int = 0
+    #: Entries ``--migrate`` moved into their shard this invocation.
+    migrated: int = 0
     #: (file name, why it is unusable) per defective entry.
     problems: List[Tuple[str, str]] = field(default_factory=list)
     stale_temps: List[str] = field(default_factory=list)
@@ -135,6 +165,8 @@ class FsckReport:
             "scanned": self.scanned,
             "ok": self.ok,
             "ok_legacy": self.ok_legacy,
+            "flat_entries": self.flat_entries,
+            "migrated": self.migrated,
             "problems": [list(item) for item in self.problems],
             "stale_temps": list(self.stale_temps),
             "pruned": list(self.pruned),
@@ -145,6 +177,13 @@ class FsckReport:
             f"fsck {self.root}: {self.scanned} entries, {self.ok} ok"
             + (f" ({self.ok_legacy} legacy v2)" if self.ok_legacy else ""),
         ]
+        if self.migrated:
+            lines.append(f"  migrated {self.migrated} flat entr"
+                         f"{'y' if self.migrated == 1 else 'ies'} into shards")
+        if self.flat_entries:
+            lines.append(f"  {self.flat_entries} entr"
+                         f"{'y' if self.flat_entries == 1 else 'ies'} still in "
+                         "the flat layout (run fsck --migrate to shard)")
         for name, why in self.problems:
             lines.append(f"  BAD  {name}: {why}")
         for name in self.stale_temps:
@@ -157,7 +196,12 @@ class FsckReport:
 
 
 class ResultStore:
-    """Directory of ``<content-hash>.json`` result files."""
+    """Sharded directory of ``<hash[:2]>/<content-hash>.json`` result files.
+
+    Writes land in the shard named by the hash's leading byte; reads
+    fall through to the flat pre-shard layout so existing stores keep
+    answering (see the module docstring).
+    """
 
     def __init__(self, root: Optional[Union[str, Path]] = None) -> None:
         self.root = Path(root).expanduser() if root else default_cache_dir()
@@ -166,14 +210,44 @@ class ResultStore:
         #: lifetime; the executor mirrors it into its telemetry.
         self.corrupt_reads = 0
 
+    def shard_path(self, content_hash: str) -> Path:
+        """Where ``content_hash`` lives in the sharded layout."""
+        return (self.root / content_hash[:SHARD_WIDTH]
+                / f"{content_hash}.json")
+
+    def flat_path(self, content_hash: str) -> Path:
+        """Where ``content_hash`` lived in the flat pre-shard layout."""
+        return self.root / f"{content_hash}.json"
+
     def path_for(self, spec: RunSpec) -> Path:
-        return self.root / f"{spec.content_hash}.json"
+        return self.shard_path(spec.content_hash)
+
+    def entry_paths(self) -> List[Path]:
+        """Every entry file, sharded layout first, sorted within each.
+
+        A hash present in both layouts (a crash between ``--migrate``'s
+        copy and unlink cannot happen — the move is one ``os.replace`` —
+        but a hand-copied entry can) is reported once per file; the
+        sharded copy is the one reads serve.
+        """
+        try:
+            sharded = sorted(self.root.glob(f"{_SHARD_GLOB}/*.json"))
+            flat = sorted(self.root.glob("*.json"))
+        except OSError:
+            return []
+        return sharded + flat
 
     @property
     def journal_dir(self) -> Path:
         """Where this store's sweep journals live (a sibling subdir,
-        invisible to the ``*.json`` entry glob)."""
+        invisible to the shard glob — shard names are two hex chars)."""
         return self.root / "journal"
+
+    @property
+    def serve_dir(self) -> Path:
+        """Where the sweep service (:mod:`repro.serve`) keeps its fleet
+        state — submission queue, lease book, default socket."""
+        return self.root / "serve"
 
     def get(self, spec: RunSpec) -> Optional[RunResult]:
         """The stored result for ``spec``, or None on any defect.
@@ -182,12 +256,21 @@ class ResultStore:
         *present but unusable* is also a miss — the run re-simulates —
         but it is counted and warned about, because silent cache rot
         re-costs simulations forever without anyone noticing.
+
+        The shard is checked first; a miss there falls through to the
+        flat pre-shard layout, so un-migrated v3 stores keep answering.
         """
-        path = self.path_for(spec)
+        path = self.shard_path(spec.content_hash)
         try:
             text = path.read_text("utf-8")
         except FileNotFoundError:
-            return None  # plain miss
+            path = self.flat_path(spec.content_hash)
+            try:
+                text = path.read_text("utf-8")
+            except FileNotFoundError:
+                return None  # plain miss in both layouts
+            except OSError as exc:
+                return self._defective(path, f"unreadable: {exc}")
         except OSError as exc:
             return self._defective(path, f"unreadable: {exc}")
         try:
@@ -211,8 +294,8 @@ class ResultStore:
 
     def put(self, spec: RunSpec, result: RunResult) -> Path:
         """Atomically and durably persist ``result`` under ``spec``'s hash."""
-        self.root.mkdir(parents=True, exist_ok=True)
         path = self.path_for(spec)
+        path.parent.mkdir(parents=True, exist_ok=True)
         result_payload = dataclasses.asdict(result)
         payload = {
             "version": STORE_VERSION,
@@ -246,7 +329,7 @@ class ResultStore:
         (or that another live writer owns) is garbage from a killed run.
         Live writers' files are left alone — they are about to be renamed.
         """
-        for stray in self.root.glob(".*.tmp"):
+        for stray in self._temp_paths():
             pid_part = stray.name.rsplit(".", 2)[-2]
             if pid_part == str(os.getpid()):
                 continue
@@ -261,11 +344,18 @@ class ResultStore:
                 except OSError:
                     pass
 
-    def __len__(self) -> int:
+    def _temp_paths(self) -> List[Path]:
+        """Writer temp files in both layouts (shard dirs and flat root)."""
         try:
-            return sum(1 for _ in self.root.glob("*.json"))
+            return (sorted(self.root.glob(f"{_SHARD_GLOB}/.*.tmp"))
+                    + sorted(self.root.glob(".*.tmp")))
         except OSError:
-            return 0
+            return []
+
+    def __len__(self) -> int:
+        """Distinct entries across both layouts (a migrated-and-recopied
+        hash counts once)."""
+        return len({path.stem for path in self.entry_paths()})
 
     # -- offline verification --------------------------------------------------
 
@@ -273,10 +363,13 @@ class ResultStore:
         """Why the entry at ``path`` is unusable, or None when sound.
 
         Runs every check :meth:`get` runs — parse, version, checksum,
-        result schema — plus one only an offline pass can afford: the
+        result schema — plus two only an offline pass can afford: the
         file name must equal the content hash of the spec description
         it carries, so a renamed or cross-copied entry (which would
-        serve the wrong result under ``get``'s addressing) is caught.
+        serve the wrong result under ``get``'s addressing) is caught;
+        and an entry filed inside a shard directory must be in the
+        shard its hash names, or ``get`` — which probes only the right
+        shard — would never find it.
         """
         try:
             text = path.read_text("utf-8")
@@ -302,25 +395,66 @@ class ResultStore:
                 return (f"entry is filed under {path.stem[:12]}… but its "
                         f"spec hashes to {expected[:12]}… (renamed or "
                         "cross-copied entry)")
+        if (path.parent != self.root
+                and len(path.parent.name) == SHARD_WIDTH
+                and path.stem[:SHARD_WIDTH] != path.parent.name):
+            return (f"filed in shard {path.parent.name}/ but its hash "
+                    f"starts with {path.stem[:SHARD_WIDTH]} (misfiled "
+                    "entry; reads probe only the right shard)")
         return None
 
-    def fsck(self, prune: bool = False) -> FsckReport:
+    def migrate(self) -> Tuple[int, int]:
+        """Move flat-layout entries into their shards; (moved, dupes).
+
+        Idempotent — a second run finds nothing flat — and atomic per
+        entry: each move is one same-filesystem ``os.replace``, so a
+        kill mid-migration leaves every entry whole in exactly one
+        layout.  A hash already present in its shard makes the flat
+        copy redundant (the shard is what reads serve); it is removed
+        and counted as a duplicate.  Files whose name is not a content
+        hash are left alone for fsck to flag.
+        """
+        moved = dupes = 0
+        try:
+            flat = sorted(self.root.glob("*.json"))
+        except OSError:
+            return 0, 0
+        for path in flat:
+            if not _is_content_hash(path.stem):
+                continue
+            target = self.shard_path(path.stem)
+            try:
+                if target.exists():
+                    path.unlink()
+                    dupes += 1
+                else:
+                    target.parent.mkdir(parents=True, exist_ok=True)
+                    os.replace(path, target)
+                    moved += 1
+            except OSError as exc:
+                print(f"repro.exec.store: migrate skipped {path.name}: {exc}",
+                      file=sys.stderr)
+        return moved, dupes
+
+    def fsck(self, prune: bool = False, migrate: bool = False) -> FsckReport:
         """Scan and verify every entry; with ``prune``, remove failures.
 
-        Never raises for a defective store — the report carries what
-        was wrong (and what was removed) so callers can journal it.
+        ``migrate`` first moves flat-layout entries into their shards
+        (see :meth:`migrate`); the scan then audits the store it left
+        behind.  Never raises for a defective store — the report
+        carries what was wrong (and what was moved or removed) so
+        callers can journal it.
         """
         report = FsckReport(root=str(self.root))
-        try:
-            entries = sorted(self.root.glob("*.json"))
-            temps = sorted(self.root.glob(".*.tmp"))
-        except OSError:
-            return report
-        for path in entries:
+        if migrate:
+            report.migrated, _dupes = self.migrate()
+        for path in self.entry_paths():
             report.scanned += 1
             problem = self.verify_entry(path)
             if problem is None:
                 report.ok += 1
+                if path.parent == self.root:
+                    report.flat_entries += 1
                 try:
                     if json.loads(path.read_text("utf-8")).get(
                             "version") != STORE_VERSION:
@@ -338,7 +472,7 @@ class ResultStore:
                     report.problems.append(
                         (path.name, f"prune failed: {exc}")
                     )
-        for stray in temps:
+        for stray in self._temp_paths():
             pid_part = stray.name.rsplit(".", 2)[-2]
             if pid_part.isdigit() and _pid_alive(int(pid_part)):
                 continue  # a live writer is about to rename it

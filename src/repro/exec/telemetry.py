@@ -45,6 +45,9 @@ class Telemetry:
     timeouts: int = 0           # attempts killed or reported by the watchdog
     pool_rebuilds: int = 0      # process pools rebuilt after breaking
     store_corrupt: int = 0      # defective store entries read as misses
+    # -- fleet service (see repro.serve) --------------------------------------
+    leased: int = 0             # specs this client's submission enqueued
+    shared: int = 0             # specs answered by another client's in-flight work
 
     # -- recording ------------------------------------------------------------
 

@@ -217,6 +217,9 @@ EXECUTOR_SERIES = (
     # durability (see repro.exec.journal): specs a resumed run served
     # from the write-ahead sweep journal instead of re-dispatching
     "executor.journal_served",
+    # fleet service (see repro.serve): specs this client's submission
+    # enqueued vs. answered by another client's in-flight work
+    "executor.leased", "executor.shared",
 )
 
 
@@ -244,6 +247,8 @@ def harvest_executor(telemetry: Any,
         "executor.pool_rebuilds": getattr(telemetry, "pool_rebuilds", 0),
         "executor.store_corrupt": getattr(telemetry, "store_corrupt", 0),
         "executor.journal_served": getattr(telemetry, "journal_served", 0),
+        "executor.leased": getattr(telemetry, "leased", 0),
+        "executor.shared": getattr(telemetry, "shared", 0),
     }
     for name in EXECUTOR_SERIES:
         unit = "seconds" if name.endswith("seconds") else "count"
@@ -285,6 +290,8 @@ def executor_summary_line(telemetry: Any,
         parts.append(f"avg {sim_seconds / simulated:.3f}s/sim")
     for name, noun in (
         ("executor.journal_served", "journal-served"),
+        ("executor.leased", "leased"),
+        ("executor.shared", "shared"),
         ("executor.retries", "retries"),
         ("executor.timeouts", "timeouts"),
         ("executor.pool_rebuilds", "pool rebuilds"),

@@ -1,0 +1,183 @@
+"""Sweep-service front end: server, worker, and fleet launcher.
+
+Examples::
+
+    python -m repro.serve                     # server on <cache>/serve/serve.sock
+    python -m repro.serve server --host 127.0.0.1 --port 7841   # + TCP
+    python -m repro.serve worker --drain      # one worker, exit when drained
+    python -m repro.serve fleet --workers 4   # four workers, respawn chaos kills
+
+All roles share state only through the cache directory (``--cache-dir``
+or ``$REPRO_CACHE_DIR``): the sharded result store, and the fleet's
+queue/lease WALs under ``<cache>/serve/``.  Workers can therefore run
+on different hosts than the server, as long as the directory is shared.
+
+The ``fleet`` subcommand is a local convenience launcher: it spawns N
+``worker`` subprocesses and supervises them — a worker dying with the
+injected-kill status (``kill-worker`` chaos, exit 76) is respawned so
+chaos runs converge, any other nonzero exit is propagated.  With
+``--drain`` the fleet exits 0 once its workers report the queue fully
+resolved.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import os
+import subprocess
+import sys
+import time
+from typing import List, Optional
+
+from repro.exec.faults import KILL_WORKER_EXIT
+from repro.exec.store import ResultStore
+from repro.serve.fleet import DEFAULT_LEASE_TTL, Fleet
+from repro.serve.server import SweepServer
+from repro.serve.worker import Worker
+
+
+def _store_and_fleet(args: argparse.Namespace) -> "tuple[ResultStore, Fleet]":
+    store = ResultStore(args.cache_dir)  # None -> default cache dir
+    return store, Fleet(store.serve_dir, ttl=args.ttl)
+
+
+def _cmd_server(args: argparse.Namespace) -> int:
+    store, fleet = _store_and_fleet(args)
+    server = SweepServer(
+        store, fleet,
+        socket_path=args.socket, host=args.host, port=args.port,
+    )
+    try:
+        asyncio.run(server.serve())
+    except KeyboardInterrupt:
+        print(
+            f"serve: shutting down ({server.leased_total} leased, "
+            f"{server.shared_total} shared, {server.store_total} store "
+            "over this lifetime)",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    store, fleet = _store_and_fleet(args)
+    worker_id = args.worker_id or f"worker-{os.getpid()}"
+    worker = Worker(fleet, store, worker_id)
+    try:
+        status = worker.run(drain=args.drain, idle_timeout=args.idle_timeout)
+    except KeyboardInterrupt:
+        status = 130
+    print(
+        f"worker {worker_id}: {worker.completed} completed, "
+        f"{worker.failed} failed",
+        file=sys.stderr,
+    )
+    return status
+
+
+def _spawn_worker(args: argparse.Namespace, index: int,
+                  generation: int) -> "subprocess.Popen[bytes]":
+    cmd = [
+        sys.executable, "-m", "repro.serve", "worker",
+        "--worker-id", f"w{index}-g{generation}",
+        "--ttl", str(args.ttl),
+    ]
+    if args.cache_dir:
+        cmd.extend(["--cache-dir", args.cache_dir])
+    if args.drain:
+        cmd.append("--drain")
+    if args.idle_timeout is not None:
+        cmd.extend(["--idle-timeout", str(args.idle_timeout)])
+    return subprocess.Popen(cmd)
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    generations = [1] * args.workers
+    procs: List[Optional["subprocess.Popen[bytes]"]] = [
+        _spawn_worker(args, i, 1) for i in range(args.workers)
+    ]
+    failures = 0
+    try:
+        while any(proc is not None for proc in procs):
+            for i, proc in enumerate(procs):
+                if proc is None:
+                    continue
+                status = proc.poll()
+                if status is None:
+                    continue
+                if status == KILL_WORKER_EXIT:
+                    # Injected chaos kill: the lease it held will
+                    # expire; a fresh worker picks up the reclaim.
+                    generations[i] += 1
+                    print(
+                        f"fleet: worker {i} died from injected chaos; "
+                        f"respawning (generation {generations[i]})",
+                        file=sys.stderr,
+                    )
+                    procs[i] = _spawn_worker(args, i, generations[i])
+                    continue
+                if status != 0:
+                    failures += 1
+                    print(f"fleet: worker {i} exited {status}",
+                          file=sys.stderr)
+                procs[i] = None
+            time.sleep(0.05)
+    except KeyboardInterrupt:
+        for proc in procs:
+            if proc is not None and proc.poll() is None:
+                proc.terminate()
+        return 130
+    return 1 if failures else 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="sharded sweep service: server, workers, fleets",
+    )
+    parser.add_argument(
+        "subcommand", nargs="?", default="server",
+        choices=("server", "worker", "fleet"),
+        help="server (default): accept submissions; worker: one fleet "
+             "member; fleet: spawn and supervise N local workers",
+    )
+    parser.add_argument("--cache-dir", default=None,
+                        help="shared cache directory (default ~/.cache/repro "
+                             "or $REPRO_CACHE_DIR); the store and the fleet "
+                             "WALs live here")
+    parser.add_argument("--socket", default=None, metavar="PATH",
+                        help="unix socket to listen on (server; default "
+                             "<cache>/serve/serve.sock)")
+    parser.add_argument("--host", default=None,
+                        help="also listen on TCP host (server; needs --port)")
+    parser.add_argument("--port", type=int, default=None,
+                        help="TCP port for --host (server)")
+    parser.add_argument("--ttl", type=float, default=DEFAULT_LEASE_TTL,
+                        help="lease TTL in seconds (worker/fleet; must "
+                             f"exceed one simulation's wall time; default "
+                             f"{DEFAULT_LEASE_TTL:g})")
+    parser.add_argument("--worker-id", default=None,
+                        help="stable worker identity (worker; default "
+                             "worker-<pid>)")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="fleet size (fleet; default 2)")
+    parser.add_argument("--drain", action="store_true",
+                        help="exit 0 once the queue is fully resolved "
+                             "(worker/fleet; default: serve forever)")
+    parser.add_argument("--idle-timeout", type=float, default=None,
+                        metavar="SEC",
+                        help="with --drain, exit 0 after SEC idle seconds "
+                             "even if no work ever arrived")
+    args = parser.parse_args(argv)
+    if (args.host is None) != (args.port is None):
+        parser.error("--host and --port go together")
+    if args.subcommand == "worker":
+        return _cmd_worker(args)
+    if args.subcommand == "fleet":
+        return _cmd_fleet(args)
+    return _cmd_server(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

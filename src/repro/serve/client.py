@@ -1,0 +1,271 @@
+"""Client side: a blocking submitter and the drop-in ServeExecutor.
+
+:class:`SweepClient` is deliberately synchronous — the CLI and the
+executor it serves are synchronous, and one submission is one
+connection: connect, send the ``submit`` line, read streamed
+``result``/``failed`` messages until ``complete``.  Messages arrive in
+resolution order; the client indexes them by content hash, so callers
+reassemble their own submission order trivially.
+
+:class:`ServeExecutor` is the headline integration: a subclass of
+:class:`~repro.exec.executor.Executor` that overrides **only** the
+simulation fan-out.  Memoisation, store read-through, batch dedupe,
+ordering, ``run_sweep`` grid assembly — every layer above
+``_simulate`` is inherited unchanged, which is what makes
+``python -m repro fig10 --serve SOCK`` produce byte-identical stdout
+to the single-process path: the same specs resolve to the same
+content-addressed results through the same rendering code; only *who
+simulated them* differs.  Fleet accounting lands in the telemetry
+(``leased``/``shared``) and surfaces in the stderr summary line only
+when nonzero.
+"""
+
+from __future__ import annotations
+
+import socket
+import sys
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.simulation import RunResult
+from repro.exec.executor import Executor
+from repro.exec.policy import FailedRun, SpecExhausted
+from repro.exec.runspec import RunSpec
+from repro.exec.telemetry import (
+    SOURCE_FAILED,
+    SOURCE_SIMULATED,
+    SOURCE_STORE,
+)
+from repro.serve.protocol import (
+    MSG_ACCEPTED,
+    MSG_COMPLETE,
+    MSG_ERROR,
+    MSG_FAILED,
+    MSG_RESULT,
+    ProtocolError,
+    decode_message,
+    submit_message,
+)
+
+#: Default per-connection socket timeout, seconds.  Generous: a cold
+#: fleet may take a while to chew through a large sweep; None disables.
+DEFAULT_TIMEOUT = 600.0
+
+
+class ServeUnavailable(ConnectionError):
+    """The sweep service could not be reached or refused the submission."""
+
+
+@dataclass
+class SubmitOutcome:
+    """Everything one submission resolved, indexed by content hash."""
+
+    results: Dict[str, RunResult] = field(default_factory=dict)
+    failures: Dict[str, FailedRun] = field(default_factory=dict)
+    #: hash -> the server's source tag ("simulated" | "store").
+    sources: Dict[str, str] = field(default_factory=dict)
+    #: hash -> fleet simulation wall seconds (0 for store answers).
+    seconds: Dict[str, float] = field(default_factory=dict)
+    #: hash -> the server's derived-rate dict for the result.
+    metrics: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    leased: int = 0
+    shared: int = 0
+    store_hits: int = 0
+
+
+class SweepClient:
+    """One submission per connection over unix socket or TCP."""
+
+    def __init__(
+        self,
+        socket_path: Optional[str] = None,
+        host: Optional[str] = None,
+        port: Optional[int] = None,
+        client_id: str = "client",
+        timeout: Optional[float] = DEFAULT_TIMEOUT,
+    ) -> None:
+        if socket_path is None and (host is None or port is None):
+            raise ValueError("need a unix socket path or host+port")
+        self.socket_path = socket_path
+        self.host = host
+        self.port = port
+        self.client_id = client_id
+        self.timeout = timeout
+
+    def _connect(self) -> socket.socket:
+        try:
+            if self.socket_path is not None:
+                conn = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                conn.settimeout(self.timeout)
+                conn.connect(self.socket_path)
+            else:
+                conn = socket.create_connection(
+                    (self.host, self.port), timeout=self.timeout
+                )
+        except OSError as exc:
+            target = self.socket_path or f"{self.host}:{self.port}"
+            raise ServeUnavailable(
+                f"cannot reach the sweep service at {target}: {exc}"
+            ) from None
+        return conn
+
+    def submit(self, specs: Sequence[RunSpec]) -> SubmitOutcome:
+        """Submit ``specs``; block until every unique hash resolves."""
+        outcome = SubmitOutcome()
+        if not specs:
+            return outcome
+        conn = self._connect()
+        try:
+            conn.sendall(submit_message(list(specs), self.client_id))
+            stream = conn.makefile("rb")
+            try:
+                self._read_stream(stream, outcome)
+            finally:
+                stream.close()
+        finally:
+            conn.close()
+        return outcome
+
+    def _read_stream(self, stream, outcome: SubmitOutcome) -> None:
+        while True:
+            line = stream.readline()
+            if not line:
+                raise ServeUnavailable(
+                    "server closed the stream before completing the "
+                    "submission"
+                )
+            record = decode_message(line)
+            kind = record["kind"]
+            if kind == MSG_ACCEPTED:
+                continue
+            if kind == MSG_RESULT:
+                spec_hash = str(record.get("spec", ""))
+                try:
+                    outcome.results[spec_hash] = RunResult(**record["result"])
+                except (KeyError, TypeError) as exc:
+                    raise ProtocolError(
+                        f"unusable result payload for {spec_hash[:12]}…: "
+                        f"{exc!r}"
+                    ) from None
+                outcome.sources[spec_hash] = str(
+                    record.get("source", "simulated"))
+                outcome.seconds[spec_hash] = float(record.get("seconds", 0.0))
+                metrics = record.get("metrics")
+                if isinstance(metrics, dict):
+                    outcome.metrics[spec_hash] = {
+                        str(k): float(v) for k, v in metrics.items()
+                    }
+                continue
+            if kind == MSG_FAILED:
+                spec_hash = str(record.get("spec", ""))
+                failure = record.get("failure")
+                if isinstance(failure, dict):
+                    try:
+                        outcome.failures[spec_hash] = FailedRun.from_dict(
+                            failure)
+                        continue
+                    except TypeError:
+                        pass
+                outcome.failures[spec_hash] = FailedRun(
+                    spec_hash=spec_hash, benchmark="?", mechanism="?",
+                    attempts=1, error="fleet reported an unparseable failure",
+                )
+                continue
+            if kind == MSG_COMPLETE:
+                outcome.leased = int(record.get("leased", 0))
+                outcome.shared = int(record.get("shared", 0))
+                outcome.store_hits = int(record.get("store", 0))
+                return
+            if kind == MSG_ERROR:
+                raise ServeUnavailable(
+                    f"server rejected the submission: {record.get('message')}"
+                )
+            # Unknown-but-versioned kinds are skipped: an older client
+            # keeps working against a server that streams more detail.
+
+
+class ServeExecutor(Executor):
+    """An :class:`Executor` whose simulations run on the fleet.
+
+    Only ``_simulate`` differs from the parent: instead of fanning out
+    over a local process pool, unresolved specs are submitted to the
+    sweep service and the streamed results are absorbed into the same
+    memo/telemetry/journal structures the parent uses.  Everything
+    observable above this layer — result values, ordering, exhibit
+    stdout — is identical by construction.
+    """
+
+    def __init__(
+        self,
+        socket_path: Optional[str] = None,
+        host: Optional[str] = None,
+        port: Optional[int] = None,
+        client_id: str = "client",
+        **kwargs: object,
+    ) -> None:
+        super().__init__(**kwargs)  # type: ignore[arg-type]
+        self.client = SweepClient(
+            socket_path=socket_path, host=host, port=port,
+            client_id=client_id,
+        )
+
+    def _simulate(self, specs: List[RunSpec]) -> None:
+        outcome = self.client.submit(specs)
+        self.telemetry.leased += outcome.leased
+        self.telemetry.shared += outcome.shared
+        total = len(specs)
+        done = 0
+        for spec in specs:
+            key = spec.content_hash
+            result = outcome.results.get(key)
+            if result is not None:
+                done += 1
+                self._absorb_remote(spec, key, result, outcome, done, total)
+                continue
+            failure = outcome.failures.get(key)
+            if failure is None:
+                failure = FailedRun(
+                    spec_hash=key, benchmark=spec.benchmark,
+                    mechanism=spec.mechanism, attempts=1,
+                    error="submission completed without resolving this spec",
+                )
+            done += 1
+            self._absorb_failure(spec, key, failure, done, total)
+
+    def _absorb_remote(
+        self,
+        spec: RunSpec,
+        key: str,
+        result: RunResult,
+        outcome: SubmitOutcome,
+        done: int,
+        total: int,
+    ) -> None:
+        self._memo[key] = result
+        self._first_attempt_at.pop(key, None)
+        fleet_simulated = outcome.sources.get(key) != "store"
+        source = SOURCE_SIMULATED if fleet_simulated else SOURCE_STORE
+        seconds = outcome.seconds.get(key, 0.0) if fleet_simulated else 0.0
+        self._record(spec, source, seconds)
+        if self._journal is not None:
+            self._journal.done(key, spec.benchmark, spec.mechanism,
+                               source, seconds)
+        self._note_progress(done, total, spec)
+
+    def _absorb_failure(
+        self,
+        spec: RunSpec,
+        key: str,
+        failure: FailedRun,
+        done: int,
+        total: int,
+    ) -> None:
+        self.telemetry.failures += 1
+        if self._journal is not None:
+            self._journal.failed(failure)
+        if self.policy.strict:
+            raise SpecExhausted(failure)
+        print(f"executor: giving up: {failure.summary()}", file=sys.stderr)
+        self._memo[key] = failure
+        self._record(spec, SOURCE_FAILED, failure.elapsed)
+        self._note_progress(done, total, spec)

@@ -1,0 +1,300 @@
+"""The fleet's shared brain: a WAL-backed work queue and lease book.
+
+Everything N independent worker processes (potentially on different
+hosts sharing the cache directory) need to coordinate lives in two
+JSON-lines WALs under ``<cache>/serve/`` plus one lock file:
+
+``queue.jsonl``
+    The work itself.  ``enqueue`` records carry the full spec payload
+    (the :meth:`~repro.exec.runspec.RunSpec.describe` dict, hash-
+    verified on read), ``done``/``failed`` records resolve a spec.
+    The server appends ``enqueue``; workers append ``done``/``failed``;
+    the server tails the file to learn of resolutions.
+
+``leases.jsonl``
+    Who is working on what.  ``lease`` records carry the worker id, a
+    monotonically increasing per-spec lease ``count`` and a wall-clock
+    ``expires`` deadline; ``renew`` extends a live lease, ``release``
+    ends one deliberately, ``expire`` records a reclaim.  Replay is
+    last-record-wins per spec, corruption-tolerant like every WAL in
+    the tree.
+
+``fleet.lock``
+    An advisory ``flock`` serialising every read-decide-append
+    transaction (claiming, enqueueing, resolving).  The lock is held
+    only for the transaction — never across a simulation — and a
+    killed holder releases it with its file handle, so a dead worker
+    can never wedge the fleet.
+
+The claim protocol is what makes ``kill-worker`` chaos provably
+converge: a worker's lease record is fsync'd *before* it starts
+simulating, so a worker killed at any point leaves either (a) no
+lease — the spec is simply free — or (b) a live lease that expires
+after its TTL and is reclaimed by the next claimant with ``count + 1``.
+The injected kill (:func:`repro.exec.faults.should_kill_worker`) fires
+only on a spec's first lease, so the reclaimed lease always runs to
+completion — the same one-shot schedule shape that makes
+``kill-orchestrator`` resume loops terminate.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.exec.policy import FailedRun
+from repro.serve import wal
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
+
+#: Default lease TTL in seconds.  Must comfortably exceed one
+#: simulation's wall time: a lease that expires mid-simulation gets the
+#: spec re-leased and simulated twice (results are identical — specs
+#: are pure — but the dedupe guarantee is per *healthy* fleet).
+DEFAULT_LEASE_TTL = 60.0
+
+KIND_ENQUEUE = "enqueue"
+KIND_DONE = "done"
+KIND_FAILED = "failed"
+KIND_LEASE = "lease"
+KIND_RENEW = "renew"
+KIND_RELEASE = "release"
+KIND_EXPIRE = "expire"
+
+
+@dataclass(frozen=True)
+class Claim:
+    """One successful claim: the spec to run and its lease pedigree."""
+
+    spec_hash: str
+    payload: Dict[str, Any]
+    lease_count: int
+    expires: float
+
+
+@dataclass
+class FleetSnapshot:
+    """What the replayed WALs say about the fleet right now."""
+
+    #: spec hash -> enqueue payload, in enqueue order (insertion-ordered).
+    enqueued: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    #: spec hash -> its ``done`` record.
+    done: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    #: spec hash -> persisted FailedRun.
+    failures: Dict[str, FailedRun] = field(default_factory=dict)
+    #: spec hash -> (worker, count, expires) for live leases.
+    leases: Dict[str, Tuple[str, int, float]] = field(default_factory=dict)
+    #: spec hash -> total leases ever granted (feeds the next count).
+    lease_counts: Dict[str, int] = field(default_factory=dict)
+    corrupt_lines: int = 0
+
+    @property
+    def resolved(self) -> int:
+        return len(self.done) + len(self.failures)
+
+    def pending(self) -> List[str]:
+        """Unresolved spec hashes, in enqueue order."""
+        return [spec for spec in self.enqueued
+                if spec not in self.done and spec not in self.failures]
+
+    @property
+    def drained(self) -> bool:
+        """Every enqueued spec resolved and no lease still live."""
+        return not self.pending() and not self.leases
+
+
+class Fleet:
+    """Transactions over the queue and lease book, under ``fleet.lock``."""
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        ttl: float = DEFAULT_LEASE_TTL,
+    ) -> None:
+        self.root = Path(root)
+        self.ttl = float(ttl)
+        self.queue_path = self.root / "queue.jsonl"
+        self.lease_path = self.root / "leases.jsonl"
+        self.lock_path = self.root / "fleet.lock"
+
+    # -- locking --------------------------------------------------------------
+
+    def _locked(self) -> "_FleetLock":
+        return _FleetLock(self.lock_path)
+
+    # -- state ----------------------------------------------------------------
+
+    def snapshot(self) -> FleetSnapshot:
+        """Replay both WALs into one consistent view.
+
+        Callers that go on to append based on what they see must hold
+        the lock around snapshot *and* append (every mutator below
+        does); a bare snapshot is for observers (progress, tests,
+        drain checks) and may be momentarily stale.
+        """
+        snap = FleetSnapshot()
+        queue_records, queue_corrupt = wal.replay(self.queue_path)
+        for record in queue_records:
+            kind = record.get("kind")
+            spec = record.get("spec", "")
+            if kind == KIND_ENQUEUE and spec:
+                payload = record.get("payload")
+                if isinstance(payload, dict):
+                    snap.enqueued.setdefault(spec, payload)
+            elif kind == KIND_DONE and spec:
+                snap.done[spec] = record
+                snap.failures.pop(spec, None)
+            elif kind == KIND_FAILED and spec:
+                failure = record.get("failure")
+                if isinstance(failure, dict):
+                    try:
+                        snap.failures[spec] = FailedRun.from_dict(failure)
+                        snap.done.pop(spec, None)
+                    except TypeError:
+                        queue_corrupt += 1
+        lease_records, lease_corrupt = wal.replay(self.lease_path)
+        for record in lease_records:
+            kind = record.get("kind")
+            spec = record.get("spec", "")
+            if not spec:
+                continue
+            if kind == KIND_LEASE:
+                count = int(record.get("count", 1))
+                snap.leases[spec] = (
+                    str(record.get("worker", "")),
+                    count,
+                    float(record.get("expires", 0.0)),
+                )
+                snap.lease_counts[spec] = max(
+                    snap.lease_counts.get(spec, 0), count
+                )
+            elif kind == KIND_RENEW and spec in snap.leases:
+                worker, count, _old = snap.leases[spec]
+                snap.leases[spec] = (
+                    worker, count, float(record.get("expires", 0.0))
+                )
+            elif kind in (KIND_RELEASE, KIND_EXPIRE):
+                snap.leases.pop(spec, None)
+        snap.corrupt_lines = queue_corrupt + lease_corrupt
+        return snap
+
+    # -- transactions ----------------------------------------------------------
+
+    def enqueue(self, payloads: Dict[str, Dict[str, Any]]) -> int:
+        """Add specs to the queue; returns how many were actually new.
+
+        ``payloads`` maps content hash to describe-payload.  Hashes
+        already enqueued (resolved or not) are skipped — the queue is a
+        set with an order, and re-submitting shared work must not grow
+        it.
+        """
+        new = 0
+        with self._locked():
+            snap = self.snapshot()
+            for spec, payload in payloads.items():
+                if spec in snap.enqueued:
+                    continue
+                wal.append_record(self.queue_path, KIND_ENQUEUE,
+                                  spec=spec, payload=payload)
+                new += 1
+        return new
+
+    def claim(self, worker: str) -> Optional[Claim]:
+        """Lease the first free pending spec to ``worker``; None if none.
+
+        One transaction under the lock: replay, reclaim every expired
+        lease (``expire`` records make the reclaim durable and
+        auditable), then lease the first pending spec that is neither
+        resolved nor still validly leased.  The lease record is fsync'd
+        before the lock is released, so by the time the worker starts
+        simulating, every other fleet member can see who owns the spec
+        and until when.
+        """
+        with self._locked():
+            snap = self.snapshot()
+            now = time.time()
+            for spec, (_owner, count, expires) in list(snap.leases.items()):
+                if expires <= now:
+                    wal.append_record(self.lease_path, KIND_EXPIRE,
+                                      spec=spec, count=count)
+                    del snap.leases[spec]
+            for spec in snap.pending():
+                if spec in snap.leases:
+                    continue
+                count = snap.lease_counts.get(spec, 0) + 1
+                expires = now + self.ttl
+                wal.append_record(
+                    self.lease_path, KIND_LEASE, spec=spec, worker=worker,
+                    count=count, expires=expires,
+                )
+                return Claim(
+                    spec_hash=spec,
+                    payload=snap.enqueued[spec],
+                    lease_count=count,
+                    expires=expires,
+                )
+        return None
+
+    def renew(self, spec_hash: str, worker: str) -> float:
+        """Extend ``worker``'s lease on ``spec_hash``; returns the new
+        deadline."""
+        expires = time.time() + self.ttl
+        with self._locked():
+            wal.append_record(self.lease_path, KIND_RENEW, spec=spec_hash,
+                              worker=worker, expires=expires)
+        return expires
+
+    def mark_done(self, spec_hash: str, worker: str, seconds: float) -> None:
+        """Resolve a spec: durably record completion, release the lease.
+
+        The caller stores the result **first** (same write order as the
+        executor's journal): a ``done`` record promises the result is
+        re-readable from the store, so the promise must land last.
+        """
+        with self._locked():
+            wal.append_record(self.queue_path, KIND_DONE, spec=spec_hash,
+                              worker=worker, seconds=round(seconds, 6))
+            wal.append_record(self.lease_path, KIND_RELEASE, spec=spec_hash,
+                              worker=worker)
+
+    def mark_failed(self, failure: FailedRun, worker: str) -> None:
+        """Resolve a spec as failed; subscribers receive the hole."""
+        with self._locked():
+            wal.append_record(self.queue_path, KIND_FAILED,
+                              spec=failure.spec_hash,
+                              failure=failure.describe())
+            wal.append_record(self.lease_path, KIND_RELEASE,
+                              spec=failure.spec_hash, worker=worker)
+
+
+class _FleetLock:
+    """Context manager holding an exclusive ``flock`` on the lock file.
+
+    Where the platform has no ``fcntl`` the lock degrades to a no-op —
+    single-host, single-worker use still works; a real fleet needs
+    POSIX semantics (and a shared filesystem whose ``flock`` is
+    honest).
+    """
+
+    def __init__(self, path: Path) -> None:
+        self.path = path
+        self._handle = None
+
+    def __enter__(self) -> "_FleetLock":
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = open(self.path, "a+")
+        if fcntl is not None:
+            fcntl.flock(self._handle.fileno(), fcntl.LOCK_EX)
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        if self._handle is not None:
+            if fcntl is not None:
+                fcntl.flock(self._handle.fileno(), fcntl.LOCK_UN)
+            self._handle.close()
+            self._handle = None

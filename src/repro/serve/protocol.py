@@ -1,0 +1,196 @@
+"""Wire format of the sweep service: JSON lines, specs by value.
+
+One message is one JSON object on one ``\\n``-terminated line — the
+same framing as every WAL in the tree, chosen for the same reason: a
+reader can always resynchronise on the next newline, and a torn line
+corrupts exactly one message.  All messages carry a protocol version
+(``v``); a server or client seeing a newer version than it speaks
+rejects the message instead of mis-parsing it.
+
+Specs travel **by value**: a submission carries each
+:class:`~repro.exec.runspec.RunSpec`'s full :meth:`describe` payload —
+the exact dict its content hash is computed over — so the server can
+verify the hash it was quoted, re-materialise the spec for a worker on
+any host, and never has to trust a client-chosen label.
+:func:`spec_from_payload` is the inverse of :meth:`RunSpec.describe`
+and is pinned by test to round-trip the content hash bit-for-bit; a
+payload whose reconstruction hashes differently is rejected
+(:class:`ProtocolError`) before it can poison the fleet queue.
+
+Message kinds
+-------------
+Client to server::
+
+    submit    {"specs": [<describe-dict>, ...], "client": "<name>"}
+
+Server to client::
+
+    accepted  {"n": N, "leased": L, "shared": S, "store": H}
+    result    {"spec": hash, "source": .., "seconds": .., "result":
+               <RunResult dict>, "metrics": <derived-rates dict>}
+    failed    {"spec": hash, "failure": <FailedRun dict>}
+    complete  {"leased": L, "shared": S, "store": H}
+    error     {"message": "..."}
+
+``result``/``failed`` stream as specs resolve, in resolution order (not
+submission order — the client reorders by hash); ``complete`` is always
+the final message of a successful submission.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.config import (
+    BusConfig,
+    CacheConfig,
+    CoreConfig,
+    MachineConfig,
+    SDRAMConfig,
+)
+from repro.exec.runspec import RunSpec
+
+#: Bump on incompatible message-layout changes; both ends reject newer.
+PROTOCOL_VERSION = 1
+
+MSG_SUBMIT = "submit"
+MSG_ACCEPTED = "accepted"
+MSG_RESULT = "result"
+MSG_FAILED = "failed"
+MSG_COMPLETE = "complete"
+MSG_ERROR = "error"
+
+
+class ProtocolError(ValueError):
+    """A message that cannot be honoured: malformed, unknown, or lying
+    about its content (a spec payload that hashes differently than the
+    spec it claims to describe)."""
+
+
+def encode_message(kind: str, **fields: Any) -> bytes:
+    """One protocol message as its wire line (newline included)."""
+    record: Dict[str, Any] = {"v": PROTOCOL_VERSION, "kind": kind}
+    record.update(fields)
+    line = json.dumps(record, sort_keys=True)
+    assert "\n" not in line  # one message is always exactly one line
+    return (line + "\n").encode("utf-8")
+
+
+def decode_message(line: bytes) -> Dict[str, Any]:
+    """Parse one wire line; raises :class:`ProtocolError` when unusable."""
+    try:
+        record = json.loads(line.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ProtocolError(f"unparseable message: {exc}") from None
+    if not isinstance(record, dict):
+        raise ProtocolError("message is not a JSON object")
+    if record.get("v", 0) > PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"message speaks protocol v{record.get('v')}, "
+            f"this end speaks v{PROTOCOL_VERSION}"
+        )
+    if not isinstance(record.get("kind"), str):
+        raise ProtocolError("message has no kind")
+    return record
+
+
+# -- spec payloads -------------------------------------------------------------
+
+def spec_payload(spec: RunSpec) -> Dict[str, Any]:
+    """The JSON-ready identity payload a spec travels as."""
+    return spec.describe()
+
+
+def payload_hash(payload: Dict[str, Any]) -> str:
+    """The content hash a describe-payload denotes.
+
+    Same canonicalisation as :attr:`RunSpec.content_hash` — SHA-256
+    over the sorted, separator-free JSON serialisation — so server and
+    client agree on identity without re-materialising the spec.
+    """
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def _config_from_payload(payload: Dict[str, Any]) -> MachineConfig:
+    """Rebuild a :class:`MachineConfig` from its ``dataclasses.asdict``."""
+    fields = dict(payload)
+    nested = {
+        "core": CoreConfig,
+        "l1d": CacheConfig,
+        "l1i": CacheConfig,
+        "l2": CacheConfig,
+        "l1_l2_bus": BusConfig,
+        "memory_bus": BusConfig,
+        "sdram": SDRAMConfig,
+    }
+    for name, cls in nested.items():
+        if name in fields and isinstance(fields[name], dict):
+            fields[name] = cls(**fields[name])
+    return MachineConfig(**fields)
+
+
+def spec_from_payload(payload: Dict[str, Any]) -> RunSpec:
+    """The inverse of :meth:`RunSpec.describe`, hash-verified.
+
+    Raises :class:`ProtocolError` when the payload is malformed or the
+    reconstructed spec's content hash differs from the payload's — a
+    client (or a corrupted queue record) must never be able to file
+    work under a hash it does not actually describe.
+    """
+    if not isinstance(payload, dict):
+        raise ProtocolError("spec payload is not an object")
+    expected = payload_hash(payload)
+    try:
+        kwargs: Tuple[Tuple[str, Any], ...] = tuple(
+            (str(k), v) for k, v in payload.get("mechanism_kwargs") or ()
+        )
+        selection = payload.get("selection")
+        spec = RunSpec(
+            benchmark=payload["benchmark"],
+            mechanism=payload["mechanism"],
+            config=_config_from_payload(payload["config"]),
+            n_instructions=payload["n_instructions"],
+            mechanism_kwargs=kwargs,
+            trace_length=payload.get("trace_length"),
+            selection=tuple(selection) if selection else None,
+            warmup_fraction=payload["warmup_fraction"],
+            fast=payload["fast"],
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProtocolError(f"bad spec payload: {exc!r}") from None
+    if spec.content_hash != expected:
+        raise ProtocolError(
+            f"spec payload hashes to {expected[:12]}… but reconstructs "
+            f"as {spec.content_hash[:12]}… (field drift between client "
+            "and server?)"
+        )
+    return spec
+
+
+def submit_message(specs: List[RunSpec], client: str) -> bytes:
+    """The submission line for ``specs`` (order preserved, dupes kept)."""
+    return encode_message(
+        MSG_SUBMIT,
+        client=client,
+        specs=[spec_payload(spec) for spec in specs],
+    )
+
+
+def batch_hashes(record: Dict[str, Any]) -> Optional[List[str]]:
+    """The content hashes a decoded ``submit`` record quotes, in order.
+
+    None when the record is not a well-formed submission (the server
+    answers ``error`` rather than raising at the caller).
+    """
+    specs = record.get("specs")
+    if not isinstance(specs, list) or not specs:
+        return None
+    hashes = []
+    for payload in specs:
+        if not isinstance(payload, dict):
+            return None
+        hashes.append(payload_hash(payload))
+    return hashes

@@ -1,0 +1,379 @@
+"""The asyncio front-end: submissions in, deduped fleet work out.
+
+One server process owns the **in-flight table**: a map from spec
+content hash to the list of live subscriptions wanting its result.
+That table is what turns overlapping submissions into shared work —
+the headline of the service.  When a submission arrives, each of its
+hashes is resolved in this order, and the reservation step happens
+*synchronously inside the event loop* (no ``await`` between check and
+insert), so two clients racing the same hash can never both enqueue it:
+
+1. **in-flight** — some earlier submission already owns the hash: this
+   one subscribes and will receive the same result (``shared``);
+2. **store** — the shared content-addressed store already has it
+   (``store`` hits, checked off the event loop);
+3. **fleet** — the hash is enqueued exactly once to the fleet queue
+   (``leased``); whichever worker claims it resolves every subscriber.
+
+Results come back through the queue WAL, not a side channel: a watcher
+task tails ``queue.jsonl`` by byte offset (complete lines only) and, on
+every ``done``/``failed`` record, reads the result from the store,
+harvests it into the metrics registry (:mod:`repro.obs.metrics`), and
+streams one ``result``/``failed`` message — payload, wall seconds,
+derived rates, per-submission progress — to every subscriber.  A
+submission whose last hash resolves gets a final ``complete`` message
+carrying its dedupe accounting.
+
+Every blocking operation — store reads, WAL tails, flock-guarded
+enqueues — is offloaded with ``asyncio.to_thread``; nothing on the
+event loop touches a file.  simlint's SIM604 rule holds this module to
+that (see :mod:`repro.analysis.asyncrules`).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Set
+
+from repro.core.simulation import RunResult
+from repro.exec.store import ResultStore
+from repro.obs.metrics import derive_metrics, harvest_result
+from repro.serve import wal
+from repro.serve.fleet import KIND_DONE, KIND_FAILED, Fleet
+from repro.serve.protocol import (
+    MSG_ACCEPTED,
+    MSG_COMPLETE,
+    MSG_ERROR,
+    MSG_FAILED,
+    MSG_RESULT,
+    ProtocolError,
+    batch_hashes,
+    decode_message,
+    encode_message,
+)
+
+#: How often the watcher polls the queue WAL for resolutions, seconds.
+WATCH_SECONDS = 0.05
+
+#: Longest accepted request line: a submission of a few thousand specs
+#: is legitimate; an unbounded line is a memory hostage.
+MAX_LINE_BYTES = 64 << 20
+
+
+@dataclass
+class _Subscription:
+    """One submission's outstanding interest in a set of hashes."""
+
+    client: str
+    outbox: "asyncio.Queue[Optional[bytes]]"
+    pending: Set[str] = field(default_factory=set)
+    total: int = 0
+    leased: int = 0
+    shared: int = 0
+    store_hits: int = 0
+
+    def progress(self) -> List[int]:
+        return [self.total - len(self.pending), self.total]
+
+    def complete_message(self) -> bytes:
+        return encode_message(
+            MSG_COMPLETE, leased=self.leased, shared=self.shared,
+            store=self.store_hits,
+        )
+
+
+class SweepServer:
+    """Accept sweep submissions; dedupe them against the fleet."""
+
+    def __init__(
+        self,
+        store: ResultStore,
+        fleet: Fleet,
+        socket_path: Optional[Path] = None,
+        host: Optional[str] = None,
+        port: Optional[int] = None,
+        watch_seconds: float = WATCH_SECONDS,
+    ) -> None:
+        self.store = store
+        self.fleet = fleet
+        self.socket_path = (Path(socket_path) if socket_path is not None
+                            else store.serve_dir / "serve.sock")
+        self.host = host
+        self.port = port
+        self.watch_seconds = watch_seconds
+        #: hash -> subscriptions awaiting it.  Only ever touched from
+        #: the event loop, and reservation happens without awaiting.
+        self._inflight: Dict[str, List[_Subscription]] = {}
+        self._queue_offset = 0
+        # Lifetime accounting (logged on shutdown, asserted by tests).
+        self.leased_total = 0
+        self.shared_total = 0
+        self.store_total = 0
+
+    # -- lifecycle ------------------------------------------------------------
+
+    async def serve(self) -> None:
+        """Listen until cancelled; unix socket always, TCP when asked."""
+        await asyncio.to_thread(self._prepare_socket_dir)
+        servers = [await asyncio.start_unix_server(
+            self._handle, path=str(self.socket_path)
+        )]
+        endpoints = [f"unix:{self.socket_path}"]
+        if self.host is not None and self.port is not None:
+            servers.append(await asyncio.start_server(
+                self._handle, host=self.host, port=self.port
+            ))
+            endpoints.append(f"tcp:{self.host}:{self.port}")
+        watcher = asyncio.ensure_future(self._watch())
+        print(f"serve: listening on {', '.join(endpoints)}", file=sys.stderr)
+        sys.stderr.flush()
+        try:
+            await asyncio.gather(*[s.serve_forever() for s in servers])
+        finally:
+            watcher.cancel()
+            for server in servers:
+                server.close()
+            await asyncio.to_thread(self._remove_socket)
+
+    def _prepare_socket_dir(self) -> None:
+        self.socket_path.parent.mkdir(parents=True, exist_ok=True)
+        # A stale socket from a killed server would make bind() fail.
+        self.socket_path.unlink(missing_ok=True)
+
+    def _remove_socket(self) -> None:
+        self.socket_path.unlink(missing_ok=True)
+
+    # -- connection handling ---------------------------------------------------
+
+    async def _handle(
+        self,
+        reader: "asyncio.StreamReader",
+        writer: "asyncio.StreamWriter",
+    ) -> None:
+        """One connection, one submission, streamed until complete."""
+        outbox: "asyncio.Queue[Optional[bytes]]" = asyncio.Queue()
+        sender = asyncio.ensure_future(self._send_loop(writer, outbox))
+        try:
+            line = await reader.readline()
+            if len(line) >= MAX_LINE_BYTES:
+                outbox.put_nowait(encode_message(
+                    MSG_ERROR, message="submission line too long"))
+                return
+            if not line:
+                return
+            try:
+                record = decode_message(line)
+            except ProtocolError as exc:
+                outbox.put_nowait(encode_message(MSG_ERROR, message=str(exc)))
+                return
+            if record.get("kind") != "submit":
+                outbox.put_nowait(encode_message(
+                    MSG_ERROR,
+                    message=f"unexpected message kind {record.get('kind')!r}",
+                ))
+                return
+            await self._submit(record, outbox)
+            # The watcher resolves the subscription; sending the final
+            # None (below, in _resolve) ends the sender loop.
+            await sender
+            sender = None  # type: ignore[assignment]
+        finally:
+            if sender is not None:
+                await outbox.put(None)
+                await sender
+
+    async def _send_loop(
+        self,
+        writer: "asyncio.StreamWriter",
+        outbox: "asyncio.Queue[Optional[bytes]]",
+    ) -> None:
+        """Drain one connection's outbox; None ends the stream."""
+        try:
+            while True:
+                message = await outbox.get()
+                if message is None:
+                    break
+                writer.write(message)
+                await writer.drain()
+        except (ConnectionError, BrokenPipeError):
+            pass  # subscriber went away; nothing to stream to
+        finally:
+            try:
+                writer.close()
+            except OSError:
+                pass
+
+    # -- submission ------------------------------------------------------------
+
+    async def _submit(
+        self,
+        record: Dict[str, Any],
+        outbox: "asyncio.Queue[Optional[bytes]]",
+    ) -> None:
+        hashes = batch_hashes(record)
+        if hashes is None:
+            outbox.put_nowait(encode_message(
+                MSG_ERROR, message="submission carries no spec payloads"))
+            outbox.put_nowait(None)
+            return
+        payloads = record["specs"]
+        client = str(record.get("client", "?"))
+        sub = _Subscription(client=client, outbox=outbox)
+
+        # Reservation is synchronous: between here and the end of the
+        # loop there is no await, so a concurrent submission of the
+        # same hash sees this one's reservation or none — never a torn
+        # half-reserved state that double-enqueues.
+        owned: Dict[str, Dict[str, Any]] = {}
+        for spec_hash, payload in zip(hashes, payloads):
+            if spec_hash in sub.pending:
+                continue  # in-batch duplicate
+            sub.pending.add(spec_hash)
+            waiting = self._inflight.get(spec_hash)
+            if waiting is not None:
+                waiting.append(sub)
+                sub.shared += 1
+            else:
+                self._inflight[spec_hash] = [sub]
+                owned[spec_hash] = payload
+        sub.total = len(sub.pending)
+
+        # Owned hashes: the store may already have them (a finished
+        # sweep from any client, any time); the rest go to the fleet.
+        to_enqueue: Dict[str, Dict[str, Any]] = {}
+        for spec_hash, payload in owned.items():
+            entry = await asyncio.to_thread(self._load_entry, spec_hash)
+            if entry is not None:
+                sub.store_hits += 1
+                self._resolve_done(spec_hash, entry, source="store",
+                                   seconds=0.0)
+            else:
+                to_enqueue[spec_hash] = payload
+        if to_enqueue:
+            await asyncio.to_thread(self.fleet.enqueue, to_enqueue)
+            sub.leased += len(to_enqueue)
+
+        self.leased_total += sub.leased
+        self.shared_total += sub.shared
+        self.store_total += sub.store_hits
+        outbox.put_nowait(encode_message(
+            MSG_ACCEPTED, n=sub.total, leased=sub.leased,
+            shared=sub.shared, store=sub.store_hits,
+        ))
+        print(
+            f"serve: {client}: {sub.total} specs "
+            f"({sub.leased} leased, {sub.shared} shared, "
+            f"{sub.store_hits} store)",
+            file=sys.stderr,
+        )
+        sys.stderr.flush()
+        if not sub.pending:
+            outbox.put_nowait(sub.complete_message())
+            outbox.put_nowait(None)
+
+    # -- resolution ------------------------------------------------------------
+
+    async def _watch(self) -> None:
+        """Tail the queue WAL; resolve subscribers as workers finish."""
+        while True:
+            records, self._queue_offset = await asyncio.to_thread(
+                wal.read_tail, self.fleet.queue_path, self._queue_offset
+            )
+            for record in records:
+                kind = record.get("kind")
+                spec_hash = str(record.get("spec", ""))
+                if not spec_hash or spec_hash not in self._inflight:
+                    continue
+                if kind == KIND_DONE:
+                    entry = await asyncio.to_thread(
+                        self._load_entry, spec_hash
+                    )
+                    if entry is None:
+                        # Promised by the WAL but unreadable: surface it
+                        # as a failure, never hang the subscribers.
+                        self._resolve_failed(spec_hash, {
+                            "spec_hash": spec_hash,
+                            "benchmark": "?", "mechanism": "?",
+                            "attempts": 1,
+                            "error": "result store entry unreadable",
+                        })
+                        continue
+                    self._resolve_done(
+                        spec_hash, entry, source="simulated",
+                        seconds=float(record.get("seconds", 0.0)),
+                    )
+                elif kind == KIND_FAILED:
+                    failure = record.get("failure")
+                    if isinstance(failure, dict):
+                        self._resolve_failed(spec_hash, failure)
+            await asyncio.sleep(self.watch_seconds)
+
+    def _resolve_done(
+        self,
+        spec_hash: str,
+        entry: Dict[str, Any],
+        source: str,
+        seconds: float,
+    ) -> None:
+        """Stream one finished spec to every subscriber (event loop only)."""
+        result_payload = entry["result"]
+        try:
+            result = RunResult(**result_payload)
+            harvest_result(result)
+            metrics = derive_metrics(result)
+        except (TypeError, ValueError):
+            metrics = {}
+        for sub in self._inflight.pop(spec_hash, []):
+            if spec_hash not in sub.pending:
+                continue
+            sub.pending.discard(spec_hash)
+            sub.outbox.put_nowait(encode_message(
+                MSG_RESULT, spec=spec_hash, source=source,
+                seconds=round(seconds, 6), result=result_payload,
+                metrics=metrics, progress=sub.progress(),
+            ))
+            self._finish_if_complete(sub)
+
+    def _resolve_failed(
+        self, spec_hash: str, failure: Dict[str, Any]
+    ) -> None:
+        for sub in self._inflight.pop(spec_hash, []):
+            if spec_hash not in sub.pending:
+                continue
+            sub.pending.discard(spec_hash)
+            sub.outbox.put_nowait(encode_message(
+                MSG_FAILED, spec=spec_hash, failure=failure,
+                progress=sub.progress(),
+            ))
+            self._finish_if_complete(sub)
+
+    def _finish_if_complete(self, sub: _Subscription) -> None:
+        if not sub.pending:
+            sub.outbox.put_nowait(sub.complete_message())
+            sub.outbox.put_nowait(None)
+
+    # -- store access (thread side) --------------------------------------------
+
+    def _load_entry(self, spec_hash: str) -> Optional[Dict[str, Any]]:
+        """The verified store entry for ``spec_hash``, or None.
+
+        Runs in a worker thread.  Uses the store's own offline
+        verification (parse, version, checksum, addressing) so a rotted
+        entry is a miss that re-simulates, exactly as ``get`` would
+        treat it — the service never streams a result the store could
+        not vouch for.
+        """
+        for path in (self.store.shard_path(spec_hash),
+                     self.store.flat_path(spec_hash)):
+            if self.store.verify_entry(path) is None:
+                try:
+                    payload = json.loads(path.read_text("utf-8"))
+                except (OSError, ValueError):
+                    return None
+                if isinstance(payload, dict):
+                    return payload
+        return None

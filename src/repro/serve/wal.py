@@ -1,0 +1,107 @@
+"""Fleet WAL primitives: fsync'd appends, tolerant replay, tail reads.
+
+The fleet's queue and lease book are JSON-lines write-ahead logs with
+exactly the discipline of the sweep journal (:mod:`repro.exec.journal`)
+and the benchmark ledger: one object per line, append-only, every
+append a single ``write`` + ``flush`` + ``fsync`` so a crash corrupts
+at most the final line, and replay that counts-and-skips what it cannot
+parse instead of dying on it.  This module keeps those three moves —
+append, replay, tail — in one place so the queue and the lease book
+cannot drift apart in their crash semantics.
+
+:func:`read_tail` is the server's live view: it parses only *complete*
+(newline-terminated) lines past a byte offset and returns the new
+offset, so a poller never half-reads the record a worker is mid-append
+on — the torn prefix is simply picked up whole on the next poll.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, List, Tuple, Union
+
+#: Bump when fleet record layouts change incompatibly; replays skip
+#: records with a newer ``v`` rather than mis-parsing them.
+FLEET_WAL_VERSION = 1
+
+
+def append_record(path: Union[str, Path], kind: str, **fields: Any) -> None:
+    """Durably append one record; crash-safe at every byte.
+
+    Callers serialise concurrent appenders themselves (the fleet holds
+    ``fleet.lock`` across its read-decide-append transactions); this
+    function only guarantees the append itself is atomic-on-crash.
+    """
+    record: Dict[str, Any] = {"v": FLEET_WAL_VERSION, "kind": kind}
+    record.update(fields)
+    line = json.dumps(record, sort_keys=True)
+    assert "\n" not in line  # one record is always exactly one line
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(line + "\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+
+
+def _parse_lines(lines: List[str]) -> Tuple[List[Dict[str, Any]], int]:
+    records: List[Dict[str, Any]] = []
+    corrupt = 0
+    for line in lines:
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+            if not isinstance(record, dict):
+                raise ValueError("record is not an object")
+        except ValueError:
+            corrupt += 1
+            continue
+        if record.get("v", 0) > FLEET_WAL_VERSION:
+            corrupt += 1
+            continue
+        records.append(record)
+    return records, corrupt
+
+
+def replay(path: Union[str, Path]) -> Tuple[List[Dict[str, Any]], int]:
+    """Every parseable record in ``path``, plus the corrupt-line count.
+
+    A missing file replays as empty — a fleet that has never enqueued
+    anything has an empty queue, not an error.
+    """
+    try:
+        text = Path(path).read_text("utf-8")
+    except OSError:
+        return [], 0
+    return _parse_lines(text.splitlines())
+
+
+def read_tail(
+    path: Union[str, Path], offset: int
+) -> Tuple[List[Dict[str, Any]], int]:
+    """Records appended past byte ``offset``; returns the new offset.
+
+    Only complete lines are consumed: a final line without its newline
+    is a write still in flight, so the returned offset stops before it
+    and the next call re-reads it whole.  A missing file reads as no
+    progress (offset unchanged).
+    """
+    try:
+        with open(path, "rb") as handle:
+            handle.seek(offset)
+            chunk = handle.read()
+    except OSError:
+        return [], offset
+    if not chunk:
+        return [], offset
+    end = chunk.rfind(b"\n")
+    if end < 0:
+        return [], offset
+    complete = chunk[: end + 1]
+    records, _corrupt = _parse_lines(
+        complete.decode("utf-8", errors="replace").splitlines()
+    )
+    return records, offset + len(complete)

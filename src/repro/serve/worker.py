@@ -1,0 +1,169 @@
+"""One fleet worker: claim, simulate, store, resolve — repeat.
+
+A worker is deliberately almost stateless: its whole contract with the
+rest of the fleet is the lease book.  Per iteration it claims the first
+free pending spec (:meth:`~repro.serve.fleet.Fleet.claim` — the lease
+is durable before the claim returns), re-materialises the spec from the
+payload the queue carries (hash-verified, so a corrupted queue record
+can never run as the wrong spec), simulates it, writes the result to
+the shared content-addressed store, and only then appends the ``done``
+record that releases the lease and tells the server to notify
+subscribers.
+
+Chaos: under a ``kill-worker`` plan the worker consults the schedule
+*after* its lease is durable and only when the lease is the spec's
+first (``count == 1``), then dies with ``os._exit`` exactly as an OOM
+kill would take it — no cleanup, the lease left live.  Convergence is
+then the fleet's job: the lease expires, the next claimant reclaims
+with count 2, and count-2 leases never consult the schedule.
+
+Drain mode (``drain=True``) is how CI and tests run fleets to
+completion: the worker exits 0 once work has been seen and the queue is
+fully resolved with no live leases.  Before any work arrives it idles
+(the submitting clients may still be connecting), bounded by
+``idle_timeout``.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from typing import Optional
+
+from repro.exec.faults import (
+    KILL_WORKER_EXIT,
+    FaultPlan,
+    active_plan,
+    should_kill_worker,
+)
+from repro.exec.policy import FailedRun
+from repro.exec.store import ResultStore
+from repro.serve.fleet import Claim, Fleet
+from repro.serve.protocol import ProtocolError, spec_from_payload
+
+#: How long an idle worker sleeps between claim attempts, seconds.
+POLL_SECONDS = 0.05
+
+
+class Worker:
+    """The claim-simulate-resolve loop over one fleet."""
+
+    def __init__(
+        self,
+        fleet: Fleet,
+        store: ResultStore,
+        worker_id: str,
+        plan: Optional[FaultPlan] = None,
+        poll: float = POLL_SECONDS,
+    ) -> None:
+        self.fleet = fleet
+        self.store = store
+        self.worker_id = worker_id
+        self.plan = plan if plan is not None else active_plan()
+        self.poll = poll
+        self.completed = 0
+        self.failed = 0
+
+    def run_one(self) -> bool:
+        """Claim and resolve one spec; False when nothing was claimable."""
+        claim = self.fleet.claim(self.worker_id)
+        if claim is None:
+            return False
+        self._maybe_die(claim)
+        try:
+            spec = spec_from_payload(claim.payload)
+        except ProtocolError as exc:
+            # A queue record that cannot re-materialise is resolved as a
+            # failure — subscribers get an annotated hole instead of a
+            # sweep that never completes.
+            self._resolve_failure(claim, repr(exc))
+            return True
+        start = time.perf_counter()
+        try:
+            result = spec.execute()
+        # simlint: allow[SIM601] converted to a FailedRun the fleet propagates to every subscriber
+        except Exception as exc:
+            self._resolve_failure(claim, repr(exc),
+                                  benchmark=spec.benchmark,
+                                  mechanism=spec.mechanism,
+                                  elapsed=time.perf_counter() - start)
+            return True
+        seconds = time.perf_counter() - start
+        # Store first, then resolve: the ``done`` record promises the
+        # result is re-readable (same write order as the sweep journal).
+        self.store.put(spec, result)
+        self.fleet.mark_done(claim.spec_hash, self.worker_id, seconds)
+        self.completed += 1
+        return True
+
+    def run(
+        self,
+        drain: bool = False,
+        idle_timeout: Optional[float] = None,
+    ) -> int:
+        """The worker loop; returns an exit status.
+
+        ``drain=False`` serves forever (a long-lived fleet member).
+        ``drain=True`` exits 0 once the queue has been seen non-empty
+        and is fully resolved with no live leases; ``idle_timeout``
+        bounds how long to wait for work to appear at all (exit 0 —
+        an empty fleet run is not an error).
+        """
+        idle_since = time.monotonic()
+        seen_work = False
+        while True:
+            if self.run_one():
+                seen_work = True
+                idle_since = time.monotonic()
+                continue
+            if drain:
+                snap = self.fleet.snapshot()
+                if snap.enqueued and snap.drained:
+                    return 0
+                if (not seen_work and idle_timeout is not None
+                        and time.monotonic() - idle_since > idle_timeout):
+                    return 0
+            time.sleep(self.poll)
+
+    # -- internals ------------------------------------------------------------
+
+    def _maybe_die(self, claim: Claim) -> None:
+        """Chaos mode: die like an OOM-killed worker, lease left live.
+
+        Fires only on the spec's first lease — see the module
+        docstring for why that makes chaos fleets converge.
+        """
+        if claim.lease_count != 1:
+            return
+        if not should_kill_worker(self.plan, claim.spec_hash):
+            return
+        print(
+            f"faults: injected worker kill ({self.worker_id}, lease on "
+            f"{claim.spec_hash[:12]}… left to expire)",
+            file=sys.stderr,
+        )
+        sys.stderr.flush()
+        os._exit(KILL_WORKER_EXIT)
+
+    def _resolve_failure(
+        self,
+        claim: Claim,
+        error: str,
+        benchmark: str = "",
+        mechanism: str = "",
+        elapsed: float = 0.0,
+    ) -> None:
+        payload = claim.payload
+        failure = FailedRun(
+            spec_hash=claim.spec_hash,
+            benchmark=benchmark or str(payload.get("benchmark", "?")),
+            mechanism=mechanism or str(payload.get("mechanism", "?")),
+            attempts=claim.lease_count,
+            error=error,
+            elapsed=round(elapsed, 6),
+        )
+        print(f"worker {self.worker_id}: giving up: {failure.summary()}",
+              file=sys.stderr)
+        self.fleet.mark_failed(failure, self.worker_id)
+        self.failed += 1

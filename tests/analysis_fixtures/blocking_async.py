@@ -1,0 +1,37 @@
+"""Known-bad: blocking calls on the sweep service's event loop.
+
+One asyncio thread multiplexes every connected client, so a sync file
+read, a ``time.sleep`` or an flock-guarded transaction inside an
+``async def`` stalls all of them at once — silently: the service still
+answers, it is just mysteriously slow under exactly the multi-client
+load it exists for.  The sanctioned shape is to offload the blocking
+work with ``asyncio.to_thread`` (note ``to_thread(fn, …)`` passes the
+function *uncalled*, which is why the offloaded form below is clean).
+SIM604 flags each direct call.
+"""
+
+import asyncio
+import fcntl
+import subprocess
+import time
+
+
+async def handle(queue_path, lock_path):
+    # Direct file I/O on the event loop: every client waits on this read.
+    with open(queue_path) as handle:          # bad: sync open()
+        lines = handle.readlines()
+    text = queue_path.read_text("utf-8")      # bad: pathlib I/O
+    time.sleep(0.05)                          # bad: stalls the loop outright
+    with open(lock_path, "a+") as lockfile:   # bad: sync open()
+        fcntl.flock(lockfile, fcntl.LOCK_EX)  # bad: waits on another process
+    subprocess.run(["sync"])                  # bad: blocks on a child
+    return lines, text
+
+
+async def handle_offloaded(queue_path):
+    # The sanctioned form: the blocking call sits in a nested function
+    # whose body runs on a to_thread worker, not the event loop.
+    def read():
+        return queue_path.read_text("utf-8")
+
+    return await asyncio.to_thread(read)

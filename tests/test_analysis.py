@@ -44,6 +44,7 @@ FIXTURE_RULES = {
     "fstring_span.py": "SIM502",
     "swallowed_exception.py": "SIM601",
     "trapped_interrupt.py": "SIM602",
+    "blocking_async.py": "SIM604",
     "unhoisted_chain.py": "SIM701",
     "loop_allocation.py": "SIM702",
     "per_iteration_frame.py": "SIM703",

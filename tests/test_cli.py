@@ -49,7 +49,7 @@ def test_cache_dir_flag_populates_store(tmp_path, capsys):
     assert main(["run", "swim", "TP", "--n", "2000",
                  "--cache-dir", str(cache)]) == 0
     first = capsys.readouterr().out
-    entries = list(cache.glob("*.json"))
+    entries = sorted(cache.glob("[0-9a-f][0-9a-f]/*.json"))
     assert len(entries) == 2  # Base + TP
     payload = json.loads(entries[0].read_text())
     assert payload["spec"]["benchmark"] == "swim"

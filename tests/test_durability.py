@@ -594,7 +594,7 @@ def test_fsck_cli_detects_then_prunes(tmp_path):
     seeded = _run_cli(env, "run", "swim", "TP", "--n", "2000")
     assert seeded.returncode == 0, seeded.stderr
     cache = Path(env["REPRO_CACHE_DIR"])
-    victim = sorted(cache.glob("*.json"))[0]
+    victim = sorted(cache.glob("[0-9a-f][0-9a-f]/*.json"))[0]
     _tamper_result(victim)
 
     def fsck(*extra):
