@@ -7,17 +7,20 @@ JSON-lines WALs under ``<cache>/serve/`` plus one lock file:
 ``queue.jsonl``
     The work itself.  ``enqueue`` records carry the full spec payload
     (the :meth:`~repro.exec.runspec.RunSpec.describe` dict, hash-
-    verified on read), ``done``/``failed`` records resolve a spec.
-    The server appends ``enqueue``; workers append ``done``/``failed``;
-    the server tails the file to learn of resolutions.
+    verified on read), ``done``/``failed`` records resolve a spec, and
+    a ``requeue`` record re-opens a resolved spec whose promised store
+    entry has gone missing.  The server appends ``enqueue``/``requeue``;
+    workers append ``done``/``failed``; the server tails the file to
+    learn of resolutions.
 
 ``leases.jsonl``
     Who is working on what.  ``lease`` records carry the worker id, a
     monotonically increasing per-spec lease ``count`` and a wall-clock
-    ``expires`` deadline; ``renew`` extends a live lease, ``release``
-    ends one deliberately, ``expire`` records a reclaim.  Replay is
-    last-record-wins per spec, corruption-tolerant like every WAL in
-    the tree.
+    ``expires`` deadline; ``renew`` extends a live lease (appended by
+    the worker's heartbeat thread while it simulates, honoured only
+    from the lease's own holder), ``release`` ends one deliberately,
+    ``expire`` records a reclaim.  Replay is last-record-wins per spec,
+    corruption-tolerant like every WAL in the tree.
 
 ``fleet.lock``
     An advisory ``flock`` serialising every read-decide-append
@@ -52,13 +55,17 @@ try:
 except ImportError:  # pragma: no cover - non-POSIX platforms
     fcntl = None  # type: ignore[assignment]
 
-#: Default lease TTL in seconds.  Must comfortably exceed one
-#: simulation's wall time: a lease that expires mid-simulation gets the
-#: spec re-leased and simulated twice (results are identical — specs
-#: are pure — but the dedupe guarantee is per *healthy* fleet).
+#: Default lease TTL in seconds.  Workers renew their lease from a
+#: heartbeat thread at half the TTL while a simulation runs, so the TTL
+#: bounds how long a *dead* worker's spec stays unclaimable, not how
+#: long a simulation may take.  It still must comfortably exceed one
+#: renew interval under load: a lease that lapses mid-simulation gets
+#: the spec re-leased and simulated twice (results are identical —
+#: specs are pure — but the dedupe guarantee is per *healthy* fleet).
 DEFAULT_LEASE_TTL = 60.0
 
 KIND_ENQUEUE = "enqueue"
+KIND_REQUEUE = "requeue"
 KIND_DONE = "done"
 KIND_FAILED = "failed"
 KIND_LEASE = "lease"
@@ -146,6 +153,14 @@ class Fleet:
                 payload = record.get("payload")
                 if isinstance(payload, dict):
                     snap.enqueued.setdefault(spec, payload)
+            elif kind == KIND_REQUEUE and spec:
+                # A broken promise undone: the spec's resolution is
+                # erased so it becomes pending (and claimable) again.
+                payload = record.get("payload")
+                if isinstance(payload, dict):
+                    snap.enqueued.setdefault(spec, payload)
+                snap.done.pop(spec, None)
+                snap.failures.pop(spec, None)
             elif kind == KIND_DONE and spec:
                 snap.done[spec] = record
                 snap.failures.pop(spec, None)
@@ -175,9 +190,13 @@ class Fleet:
                 )
             elif kind == KIND_RENEW and spec in snap.leases:
                 worker, count, _old = snap.leases[spec]
-                snap.leases[spec] = (
-                    worker, count, float(record.get("expires", 0.0))
-                )
+                # Only the lease's own holder can extend it: a stale
+                # heartbeat from a worker that lost the lease must not
+                # stretch the reclaimant's deadline.
+                if str(record.get("worker", "")) == worker:
+                    snap.leases[spec] = (
+                        worker, count, float(record.get("expires", 0.0))
+                    )
             elif kind in (KIND_RELEASE, KIND_EXPIRE):
                 snap.leases.pop(spec, None)
         snap.corrupt_lines = queue_corrupt + lease_corrupt
@@ -185,15 +204,19 @@ class Fleet:
 
     # -- transactions ----------------------------------------------------------
 
-    def enqueue(self, payloads: Dict[str, Dict[str, Any]]) -> int:
-        """Add specs to the queue; returns how many were actually new.
+    def enqueue(self, payloads: Dict[str, Dict[str, Any]]) -> List[str]:
+        """Add specs to the queue; returns the hashes actually appended.
 
         ``payloads`` maps content hash to describe-payload.  Hashes
         already enqueued (resolved or not) are skipped — the queue is a
         set with an order, and re-submitting shared work must not grow
-        it.
+        it.  Callers must treat a skipped hash as already owned by the
+        fleet and consult a snapshot for its fate: it may be pending
+        (a worker will resolve it), or already resolved (no worker will
+        touch it again — see :meth:`requeue` for re-opening one whose
+        promised result has gone missing).
         """
-        new = 0
+        appended: List[str] = []
         with self._locked():
             snap = self.snapshot()
             for spec, payload in payloads.items():
@@ -201,8 +224,32 @@ class Fleet:
                     continue
                 wal.append_record(self.queue_path, KIND_ENQUEUE,
                                   spec=spec, payload=payload)
-                new += 1
-        return new
+                appended.append(spec)
+        return appended
+
+    def requeue(self, payloads: Dict[str, Dict[str, Any]]) -> List[str]:
+        """Re-open resolved specs; returns the hashes actually reopened.
+
+        A ``done`` record promises the result is re-readable from the
+        store.  When that promise breaks (the entry was pruned or
+        rotted), the spec must run again — but resolved specs are never
+        pending, so a plain :meth:`enqueue` cannot revive them.  A
+        ``requeue`` record erases the spec's resolution on replay and
+        (re)carries its payload, making it claimable afresh.  Specs
+        that are already pending are skipped — re-opening in-flight
+        work would double-simulate it.
+        """
+        reopened: List[str] = []
+        with self._locked():
+            snap = self.snapshot()
+            pending = set(snap.pending())
+            for spec, payload in payloads.items():
+                if spec in pending:
+                    continue
+                wal.append_record(self.queue_path, KIND_REQUEUE,
+                                  spec=spec, payload=payload)
+                reopened.append(spec)
+        return reopened
 
     def claim(self, worker: str) -> Optional[Claim]:
         """Lease the first free pending spec to ``worker``; None if none.
@@ -240,11 +287,20 @@ class Fleet:
                 )
         return None
 
-    def renew(self, spec_hash: str, worker: str) -> float:
-        """Extend ``worker``'s lease on ``spec_hash``; returns the new
-        deadline."""
-        expires = time.time() + self.ttl
+    def renew(self, spec_hash: str, worker: str) -> Optional[float]:
+        """Extend ``worker``'s live lease on ``spec_hash``.
+
+        Returns the new deadline, or ``None`` when ``worker`` no longer
+        holds the lease (it lapsed and was reclaimed, or was released).
+        The ownership check runs under the lock so a stale heartbeat
+        can never append a renew record against the reclaimant's lease;
+        replay enforces the same rule for records already on disk.
+        """
         with self._locked():
+            lease = self.snapshot().leases.get(spec_hash)
+            if lease is None or lease[0] != worker:
+                return None
+            expires = time.time() + self.ttl
             wal.append_record(self.lease_path, KIND_RENEW, spec=spec_hash,
                               worker=worker, expires=expires)
         return expires

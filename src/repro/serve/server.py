@@ -60,7 +60,10 @@ from repro.serve.protocol import (
 WATCH_SECONDS = 0.05
 
 #: Longest accepted request line: a submission of a few thousand specs
-#: is legitimate; an unbounded line is a memory hostage.
+#: is legitimate; an unbounded line is a memory hostage.  Passed to the
+#: asyncio streams as their buffer ``limit`` — without it the reader's
+#: 64 KiB default would make ``readline`` blow up on any batch past a
+#: few dozen specs.
 MAX_LINE_BYTES = 64 << 20
 
 
@@ -75,6 +78,7 @@ class _Subscription:
     leased: int = 0
     shared: int = 0
     store_hits: int = 0
+    finished: bool = False
 
     def progress(self) -> List[int]:
         return [self.total - len(self.pending), self.total]
@@ -97,6 +101,7 @@ class SweepServer:
         host: Optional[str] = None,
         port: Optional[int] = None,
         watch_seconds: float = WATCH_SECONDS,
+        max_line: int = MAX_LINE_BYTES,
     ) -> None:
         self.store = store
         self.fleet = fleet
@@ -105,6 +110,7 @@ class SweepServer:
         self.host = host
         self.port = port
         self.watch_seconds = watch_seconds
+        self.max_line = int(max_line)
         #: hash -> subscriptions awaiting it.  Only ever touched from
         #: the event loop, and reservation happens without awaiting.
         self._inflight: Dict[str, List[_Subscription]] = {}
@@ -120,12 +126,13 @@ class SweepServer:
         """Listen until cancelled; unix socket always, TCP when asked."""
         await asyncio.to_thread(self._prepare_socket_dir)
         servers = [await asyncio.start_unix_server(
-            self._handle, path=str(self.socket_path)
+            self._handle, path=str(self.socket_path), limit=self.max_line
         )]
         endpoints = [f"unix:{self.socket_path}"]
         if self.host is not None and self.port is not None:
             servers.append(await asyncio.start_server(
-                self._handle, host=self.host, port=self.port
+                self._handle, host=self.host, port=self.port,
+                limit=self.max_line,
             ))
             endpoints.append(f"tcp:{self.host}:{self.port}")
         watcher = asyncio.ensure_future(self._watch())
@@ -158,10 +165,18 @@ class SweepServer:
         outbox: "asyncio.Queue[Optional[bytes]]" = asyncio.Queue()
         sender = asyncio.ensure_future(self._send_loop(writer, outbox))
         try:
-            line = await reader.readline()
-            if len(line) >= MAX_LINE_BYTES:
+            try:
+                line = await reader.readline()
+            except ValueError:
+                # The reader refuses to buffer a line past its limit
+                # (it raises rather than returning a truncated line) —
+                # answer with a protocol error instead of dying and
+                # leaving the client a bare closed stream.
                 outbox.put_nowait(encode_message(
-                    MSG_ERROR, message="submission line too long"))
+                    MSG_ERROR,
+                    message=(f"submission line exceeds the server's "
+                             f"{self.max_line}-byte limit"),
+                ))
                 return
             if not line:
                 return
@@ -254,8 +269,14 @@ class SweepServer:
             else:
                 to_enqueue[spec_hash] = payload
         if to_enqueue:
-            await asyncio.to_thread(self.fleet.enqueue, to_enqueue)
-            sub.leased += len(to_enqueue)
+            appended = set(await asyncio.to_thread(
+                self.fleet.enqueue, to_enqueue))
+            sub.leased += len(appended)
+            skipped = {spec_hash: payload
+                       for spec_hash, payload in to_enqueue.items()
+                       if spec_hash not in appended}
+            if skipped:
+                await self._adopt_skipped(skipped, sub)
 
         self.leased_total += sub.leased
         self.shared_total += sub.shared
@@ -271,9 +292,51 @@ class SweepServer:
             file=sys.stderr,
         )
         sys.stderr.flush()
-        if not sub.pending:
-            outbox.put_nowait(sub.complete_message())
-            outbox.put_nowait(None)
+        self._finish_if_complete(sub)
+
+    async def _adopt_skipped(
+        self,
+        skipped: Dict[str, Dict[str, Any]],
+        sub: _Subscription,
+    ) -> None:
+        """Hashes the fleet already owns: resolve or re-open them.
+
+        ``enqueue`` skips a hash that is already in the queue WAL.  A
+        skipped hash that is still *pending* is genuinely shared work —
+        a worker will resolve it and the watcher will stream it.  But a
+        skipped hash that is already *resolved* would hang its
+        subscribers forever: no worker touches it again and its
+        ``done``/``failed`` record may sit before the watcher's offset.
+        So the resolution is replayed from a fleet snapshot here: a
+        ``done`` whose store entry still reads resolves immediately; a
+        ``failed`` streams its recorded failure; a ``done`` whose store
+        entry has been pruned is a broken promise — the spec is
+        requeued so the fleet simulates it afresh.
+        """
+        snap = await asyncio.to_thread(self.fleet.snapshot)
+        to_requeue: Dict[str, Dict[str, Any]] = {}
+        for spec_hash, payload in skipped.items():
+            if spec_hash in snap.done:
+                entry = await asyncio.to_thread(self._load_entry, spec_hash)
+                if entry is not None:
+                    sub.store_hits += 1
+                    self._resolve_done(spec_hash, entry, source="store",
+                                       seconds=0.0)
+                else:
+                    to_requeue[spec_hash] = payload
+            elif spec_hash in snap.failures:
+                sub.shared += 1
+                self._resolve_failed(
+                    spec_hash, snap.failures[spec_hash].describe())
+            else:
+                sub.shared += 1  # pending: already in flight fleet-wide
+        if to_requeue:
+            reopened = await asyncio.to_thread(self.fleet.requeue,
+                                               to_requeue)
+            sub.leased += len(reopened)
+            # Not reopened means another front-end requeued it first —
+            # the work is in flight again either way; share it.
+            sub.shared += len(to_requeue) - len(reopened)
 
     # -- resolution ------------------------------------------------------------
 
@@ -352,7 +415,10 @@ class SweepServer:
             self._finish_if_complete(sub)
 
     def _finish_if_complete(self, sub: _Subscription) -> None:
-        if not sub.pending:
+        # Idempotent: resolutions inside _submit and the final check at
+        # its tail may both observe the empty pending set.
+        if not sub.pending and not sub.finished:
+            sub.finished = True
             sub.outbox.put_nowait(sub.complete_message())
             sub.outbox.put_nowait(None)
 
@@ -373,7 +439,10 @@ class SweepServer:
                 try:
                     payload = json.loads(path.read_text("utf-8"))
                 except (OSError, ValueError):
-                    return None
+                    # Vanished (or rotted) between verify and read:
+                    # fall through to the other layout rather than
+                    # declaring a miss the flat path could still serve.
+                    continue
                 if isinstance(payload, dict):
                     return payload
         return None

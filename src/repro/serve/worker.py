@@ -5,10 +5,12 @@ rest of the fleet is the lease book.  Per iteration it claims the first
 free pending spec (:meth:`~repro.serve.fleet.Fleet.claim` — the lease
 is durable before the claim returns), re-materialises the spec from the
 payload the queue carries (hash-verified, so a corrupted queue record
-can never run as the wrong spec), simulates it, writes the result to
-the shared content-addressed store, and only then appends the ``done``
-record that releases the lease and tells the server to notify
-subscribers.
+can never run as the wrong spec), simulates it while a heartbeat
+thread renews the lease at half the TTL (:class:`_LeaseRenewer` — a
+simulation slower than the TTL must not get its spec reclaimed and run
+twice), writes the result to the shared content-addressed store, and
+only then appends the ``done`` record that releases the lease and
+tells the server to notify subscribers.
 
 Chaos: under a ``kill-worker`` plan the worker consults the schedule
 *after* its lease is durable and only when the lease is the spec's
@@ -28,6 +30,7 @@ from __future__ import annotations
 
 import os
 import sys
+import threading
 import time
 from typing import Optional
 
@@ -44,6 +47,42 @@ from repro.serve.protocol import ProtocolError, spec_from_payload
 
 #: How long an idle worker sleeps between claim attempts, seconds.
 POLL_SECONDS = 0.05
+
+
+class _LeaseRenewer:
+    """Heartbeat thread keeping one claim's lease alive while it runs.
+
+    A lease that silently outlives its TTL mid-simulation gets the spec
+    reclaimed and simulated twice, so the worker renews at half the TTL
+    for as long as the simulation (and the store/resolve writes after
+    it) are in progress.  :meth:`~repro.serve.fleet.Fleet.renew` checks
+    ownership under the fleet lock and returns ``None`` when the lease
+    was lost anyway (e.g. the host slept past the TTL) — at that point
+    renewing stops; the reclaimant owns the spec now and a stale
+    heartbeat must not stretch its deadline.
+    """
+
+    def __init__(self, fleet: Fleet, claim: Claim, worker_id: str) -> None:
+        self.fleet = fleet
+        self.claim = claim
+        self.worker_id = worker_id
+        self.interval = max(fleet.ttl * 0.5, 0.01)
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def __enter__(self) -> "_LeaseRenewer":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._stop.set()
+        self._thread.join()
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            renewed = self.fleet.renew(self.claim.spec_hash, self.worker_id)
+            if renewed is None:
+                return
 
 
 class Worker:
@@ -80,20 +119,24 @@ class Worker:
             self._resolve_failure(claim, repr(exc))
             return True
         start = time.perf_counter()
-        try:
-            result = spec.execute()
-        # simlint: allow[SIM601] converted to a FailedRun the fleet propagates to every subscriber
-        except Exception as exc:
-            self._resolve_failure(claim, repr(exc),
-                                  benchmark=spec.benchmark,
-                                  mechanism=spec.mechanism,
-                                  elapsed=time.perf_counter() - start)
-            return True
-        seconds = time.perf_counter() - start
-        # Store first, then resolve: the ``done`` record promises the
-        # result is re-readable (same write order as the sweep journal).
-        self.store.put(spec, result)
-        self.fleet.mark_done(claim.spec_hash, self.worker_id, seconds)
+        # The heartbeat spans the simulation *and* the store/resolve
+        # writes after it, so the lease cannot lapse between finishing
+        # a long run and making its resolution durable.
+        with _LeaseRenewer(self.fleet, claim, self.worker_id):
+            try:
+                result = spec.execute()
+            # simlint: allow[SIM601] converted to a FailedRun the fleet propagates to every subscriber
+            except Exception as exc:
+                self._resolve_failure(claim, repr(exc),
+                                      benchmark=spec.benchmark,
+                                      mechanism=spec.mechanism,
+                                      elapsed=time.perf_counter() - start)
+                return True
+            seconds = time.perf_counter() - start
+            # Store first, then resolve: the ``done`` record promises the
+            # result is re-readable (same write order as the sweep journal).
+            self.store.put(spec, result)
+            self.fleet.mark_done(claim.spec_hash, self.worker_id, seconds)
         self.completed += 1
         return True
 

@@ -164,9 +164,11 @@ def _payloads(*hashes):
 
 def test_lease_lifecycle_and_exactly_one_claimant(tmp_path):
     fleet = Fleet(tmp_path, ttl=30.0)
-    assert fleet.enqueue(_payloads("a" * 64, "b" * 64)) == 2
-    # Re-submitting shared work must not grow the queue.
-    assert fleet.enqueue(_payloads("a" * 64)) == 0
+    assert fleet.enqueue(_payloads("a" * 64, "b" * 64)) == \
+        ["a" * 64, "b" * 64]
+    # Re-submitting shared work must not grow the queue — and the
+    # caller learns exactly which hashes the fleet already owned.
+    assert fleet.enqueue(_payloads("a" * 64)) == []
 
     first = fleet.claim("w1")
     second = fleet.claim("w2")
@@ -201,6 +203,54 @@ def test_expired_lease_is_reclaimed_with_higher_count(tmp_path):
     kinds = [r["kind"] for r in records]
     assert KIND_EXPIRE in kinds
     assert kinds.count(KIND_LEASE) == 2
+
+
+def test_renew_extends_only_the_holders_live_lease(tmp_path):
+    fleet = Fleet(tmp_path, ttl=0.4)
+    fleet.enqueue(_payloads("a" * 64))
+    assert fleet.claim("w1") is not None
+    # The holder can keep the lease alive past its original TTL...
+    for _ in range(3):
+        time.sleep(0.2)
+        assert fleet.renew("a" * 64, "w1") is not None
+        assert fleet.claim("w2") is None
+    # ...while a non-holder's heartbeat is refused outright.
+    assert fleet.renew("a" * 64, "w2") is None
+    # Once the lease lapses and w2 reclaims, the old holder's renew is
+    # refused too — it must not stretch the reclaimant's deadline.
+    time.sleep(0.5)
+    reclaimed = fleet.claim("w2")
+    assert reclaimed is not None and reclaimed.lease_count == 2
+    assert fleet.renew("a" * 64, "w1") is None
+    holder, _count, expires = fleet.snapshot().leases["a" * 64]
+    assert holder == "w2"
+    # Replay enforces the same rule for records already on disk: a
+    # forged renew from the wrong worker changes nothing.
+    wal.append_record(fleet.lease_path, "renew", spec="a" * 64,
+                      worker="w1", expires=expires + 9999.0)
+    assert fleet.snapshot().leases["a" * 64] == (holder, 2, expires)
+
+
+def test_requeue_reopens_resolved_specs_but_not_pending_ones(tmp_path):
+    fleet = Fleet(tmp_path, ttl=30.0)
+    fleet.enqueue(_payloads("a" * 64, "b" * 64))
+    claim = fleet.claim("w1")
+    assert claim.spec_hash == "a" * 64
+    fleet.mark_done(claim.spec_hash, "w1", 0.1)
+    # Resolved specs are not pending, and enqueue cannot revive them.
+    assert fleet.enqueue(_payloads("a" * 64)) == []
+    assert fleet.snapshot().pending() == ["b" * 64]
+    # requeue erases the resolution; the still-pending spec is skipped
+    # (re-opening in-flight work would double-simulate it).
+    assert fleet.requeue(_payloads("a" * 64, "b" * 64)) == ["a" * 64]
+    snap = fleet.snapshot()
+    assert snap.pending() == ["a" * 64, "b" * 64]
+    assert "a" * 64 not in snap.done
+    # The reopened spec is claimable again and its lease pedigree
+    # continues — a count-2 lease never consults the chaos schedule.
+    reclaimed = fleet.claim("w2")
+    assert reclaimed.spec_hash == "a" * 64
+    assert reclaimed.lease_count == 2
 
 
 def test_failed_specs_resolve_the_queue(tmp_path):
@@ -277,20 +327,65 @@ def test_kill_worker_schedule_is_deterministic_and_first_lease_only(tmp_path):
                             lease_count=2, expires=0.0))
 
 
+def test_worker_heartbeat_outlasts_a_slow_simulation(tmp_path, monkeypatch):
+    """A simulation slower than the TTL keeps its lease via renewal."""
+    store = ResultStore(tmp_path / "cache")
+    fleet = Fleet(store.serve_dir, ttl=0.4)
+    spec = _spec()
+    fleet.enqueue({spec.content_hash: spec_payload(spec)})
+
+    class Slow:
+        def __init__(self, inner):
+            self._inner = inner
+
+        def __getattr__(self, name):
+            return getattr(self._inner, name)
+
+        def execute(self):
+            time.sleep(1.0)
+            return self._inner.execute()
+
+    monkeypatch.setattr(
+        "repro.serve.worker.spec_from_payload",
+        lambda payload: Slow(spec_from_payload(payload)),
+    )
+    worker = Worker(fleet, store, "w1", plan=FaultPlan())
+    thread = threading.Thread(target=worker.run_one)
+    thread.start()
+    try:
+        # Well past the original 0.4 s deadline the lease is still live
+        # (renewed at ttl/2), so no one else can steal the spec.
+        time.sleep(0.7)
+        assert fleet.claim("w2") is None
+    finally:
+        thread.join(timeout=30.0)
+    assert worker.completed == 1
+    snap = fleet.snapshot()
+    assert snap.drained and spec.content_hash in snap.done
+    # Exactly one lease ever granted, kept alive by renew heartbeats.
+    records, _ = wal.replay(fleet.lease_path)
+    kinds = [r["kind"] for r in records]
+    assert kinds.count(KIND_LEASE) == 1
+    assert "renew" in kinds
+    assert KIND_EXPIRE not in kinds
+
+
 # -- the service end to end (in process) ---------------------------------------
 
 class _Service:
     """A live server on a unix socket plus optional worker threads."""
 
-    def __init__(self, tmp_path, ttl=60.0):
+    def __init__(self, tmp_path, ttl=60.0, max_line=None):
         import asyncio
 
         self.store = ResultStore(tmp_path / "cache")
         self.fleet = Fleet(self.store.serve_dir, ttl=ttl)
         self.socket_path = str(tmp_path / "serve.sock")
+        extra = {} if max_line is None else {"max_line": max_line}
         self.server = SweepServer(
             self.store, self.fleet,
             socket_path=Path(self.socket_path), watch_seconds=0.02,
+            **extra,
         )
         self.loop = asyncio.new_event_loop()
         self._loop_thread = threading.Thread(
@@ -374,6 +469,142 @@ def test_store_answers_skip_the_fleet_entirely(service):
         _as_dict(spec.execute())
     # Nothing was ever enqueued: the fleet never heard of this spec.
     assert _queue_kind_counts(service.fleet, KIND_ENQUEUE) == {}
+
+
+def test_submission_lines_beyond_asyncios_default_limit_work(service):
+    """Regression: a batch past ~44 specs used to kill the handler.
+
+    Without ``limit=`` the asyncio streams cap buffered lines at 64 KiB
+    and ``readline`` raises, so the client saw a bare closed stream.
+    The duplicates dedupe to one store-answered hash, keeping the test
+    cheap while the submit line itself stays genuinely oversized.
+    """
+    from repro.serve.protocol import submit_message
+
+    spec = _spec()
+    service.store.put(spec, spec.execute())
+    specs = [spec] * 1000
+    assert len(submit_message(list(specs), "bulk")) > (64 << 10)
+    outcome = service.client("bulk").submit(specs)
+    assert outcome.store_hits == 1
+    assert _as_dict(outcome.results[spec.content_hash]) == \
+        _as_dict(spec.execute())
+
+
+def test_over_limit_submission_is_refused_with_an_error(tmp_path):
+    from repro.serve import ServeUnavailable
+
+    svc = _Service(tmp_path, max_line=1024).start()
+    try:
+        with pytest.raises(ServeUnavailable) as excinfo:
+            svc.client("hog").submit([_spec()] * 50)
+        # A protocol error, not a bare "server closed the stream".
+        assert "limit" in str(excinfo.value)
+    finally:
+        svc.close()
+
+
+def test_resolved_failure_in_the_queue_wal_streams_not_hangs(service):
+    """A hash whose ``failed`` record predates the subscription.
+
+    ``enqueue`` skips it (already in the queue WAL) and the watcher has
+    long consumed its resolution, so without snapshot adoption every
+    subscriber would hang until the socket timeout.
+    """
+    from repro.exec.policy import FailedRun
+
+    spec = _spec()
+    service.fleet.enqueue({spec.content_hash: spec_payload(spec)})
+    claim = service.fleet.claim("w1")
+    service.fleet.mark_failed(FailedRun(
+        spec_hash=claim.spec_hash, benchmark=spec.benchmark,
+        mechanism=spec.mechanism, attempts=1, error="boom"), "w1")
+    time.sleep(0.1)  # let the watcher pass the failed record
+
+    outcome = service.client("late").submit([spec])
+    assert outcome.failures[spec.content_hash].error == "boom"
+    assert outcome.leased == 0 and outcome.shared == 1
+    assert outcome.store_hits == 0
+
+
+def test_pruned_store_entry_behind_a_done_record_is_requeued(service):
+    """A ``done`` record whose store entry was pruned must re-simulate.
+
+    The fleet's promise broke; the server requeues the spec instead of
+    leaving subscribers waiting on a resolution that can never replay.
+    """
+    spec = _spec()
+    service.fleet.enqueue({spec.content_hash: spec_payload(spec)})
+    worker = Worker(service.fleet, service.store, "w1", plan=FaultPlan())
+    assert worker.run_one()
+    time.sleep(0.1)  # let the watcher pass the done record
+    service.store.shard_path(spec.content_hash).unlink()
+
+    service.start_worker("w2")
+    outcome = service.client("late").submit([spec])
+    assert _as_dict(outcome.results[spec.content_hash]) == \
+        _as_dict(spec.execute())
+    assert outcome.sources[spec.content_hash] == "simulated"
+    assert outcome.leased == 1 and outcome.shared == 0
+    assert outcome.store_hits == 0
+    # The WAL tells the full story: requeue, then a second done record.
+    records, _ = wal.replay(service.fleet.queue_path)
+    kinds = [r["kind"] for r in records]
+    assert "requeue" in kinds
+    assert kinds.count(KIND_DONE) == 2
+    # And the store's promise holds again.
+    assert service.store.get(spec) is not None
+
+
+def test_pending_fleet_spec_is_adopted_as_shared_work(service):
+    """A hash already pending on the queue (no live subscription) is
+    shared, not re-enqueued, and its eventual resolution streams."""
+    spec = _spec()
+    service.fleet.enqueue({spec.content_hash: spec_payload(spec)})
+
+    outcomes = {}
+
+    def submit():
+        outcomes["late"] = service.client("late").submit([spec])
+
+    thread = threading.Thread(target=submit)
+    thread.start()
+    deadline = time.monotonic() + 10.0
+    while spec.content_hash not in service.server._inflight:
+        assert time.monotonic() < deadline, "submission never registered"
+        assert thread.is_alive(), "client died before the worker started"
+        time.sleep(0.01)
+    service.start_worker("w1")
+    thread.join(timeout=120.0)
+    assert not thread.is_alive()
+
+    outcome = outcomes["late"]
+    assert _as_dict(outcome.results[spec.content_hash]) == \
+        _as_dict(spec.execute())
+    assert outcome.leased == 0 and outcome.shared == 1
+    # Exactly one enqueue and one done record fleet-wide.
+    assert _queue_kind_counts(service.fleet, KIND_ENQUEUE) == \
+        {spec.content_hash: 1}
+    assert _queue_kind_counts(service.fleet, KIND_DONE) == \
+        {spec.content_hash: 1}
+
+
+def test_load_entry_falls_through_to_the_flat_layout(service, monkeypatch):
+    """A shard entry that verifies but fails to read is not a miss.
+
+    The flat-layout entry must still be probed — returning None would
+    surface a WAL-promised result as a spurious failure.
+    """
+    spec = _spec()
+    service.store.put(spec, spec.execute())
+    os.replace(service.store.shard_path(spec.content_hash),
+               service.store.flat_path(spec.content_hash))
+    # Make verify pass for both paths: the shard read now fails (the
+    # file is gone) and must fall through to the flat entry.
+    monkeypatch.setattr(service.store, "verify_entry", lambda path: None)
+    entry = service.server._load_entry(spec.content_hash)
+    assert entry is not None
+    assert entry["result"]
 
 
 def test_two_clients_share_inflight_work_exactly_once(service):
