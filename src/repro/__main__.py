@@ -161,6 +161,7 @@ def _build_executor(args) -> Executor:
         return ServeExecutor(
             socket_path=args.serve, client_id=f"cli-{os.getpid()}",
             store=store, policy=policy, shutdown=SHUTDOWN,
+            deadline=args.deadline, retry_failed=args.retry_failed,
         )
     # Durability: multi-spec sweeps journal next to the store, so every
     # cached run is also resumable.  --no-cache has nowhere to journal
@@ -192,20 +193,27 @@ def _append_ledger_entry(command: str, executor: Executor) -> None:
     from repro.obs.ledger import Ledger, make_record
 
     telemetry = executor.telemetry
+    metrics = {
+        "simulated": float(telemetry.simulated),
+        "cache_hits": float(telemetry.cache_hits),
+        "timeouts": float(telemetry.timeouts),
+        "pool_rebuilds": float(telemetry.pool_rebuilds),
+        "store_corrupt": float(telemetry.store_corrupt),
+        "leased": float(getattr(telemetry, "leased", 0)),
+        "shared": float(getattr(telemetry, "shared", 0)),
+    }
+    # Hardening counters appear only when nonzero, so a clean run's
+    # ledger record stays byte-identical to what it always was.
+    for key in ("shed", "quarantined", "expired"):
+        value = float(getattr(telemetry, key, 0))
+        if value:
+            metrics[key] = value
     record = make_record(
         label=f"cli-{command}",
         wall_seconds=telemetry.wall_time,
         retries=telemetry.retries,
         failures=telemetry.failures,
-        metrics={
-            "simulated": float(telemetry.simulated),
-            "cache_hits": float(telemetry.cache_hits),
-            "timeouts": float(telemetry.timeouts),
-            "pool_rebuilds": float(telemetry.pool_rebuilds),
-            "store_corrupt": float(telemetry.store_corrupt),
-            "leased": float(getattr(telemetry, "leased", 0)),
-            "shared": float(getattr(telemetry, "shared", 0)),
-        },
+        metrics=metrics,
     )
     Ledger().append(record)
 
@@ -311,9 +319,17 @@ def main(argv=None) -> int:
                              "cache; output is bit-identical to an "
                              "uninterrupted run)")
     parser.add_argument("--retry-failed", action="store_true",
-                        help="with --resume, re-run specs the journal "
-                             "recorded as having exhausted every attempt "
-                             "(default: serve them as annotated holes)")
+                        help="re-run specs recorded as having exhausted "
+                             "every attempt (with --resume: the local "
+                             "journal's holes; with --serve: the fleet's "
+                             "recorded failures, quarantined poison specs "
+                             "included) instead of serving them as "
+                             "annotated holes")
+    parser.add_argument("--deadline", type=float, default=None, metavar="SEC",
+                        help="with --serve: per-submission deadline in "
+                             "seconds; specs the fleet cannot start in "
+                             "time come back as annotated timeout holes "
+                             "instead of waiting forever")
     parser.add_argument("--trace", metavar="OUT.json", default=None,
                         help="record a Chrome trace_event timeline of the "
                              "run to OUT.json (forces --jobs 1 --no-cache)")
@@ -351,6 +367,9 @@ def main(argv=None) -> int:
                      "submissions are already durable in the service's "
                      "queue (just re-submit: resolved specs answer from "
                      "the store)")
+    if args.deadline is not None and not args.serve:
+        parser.error("--deadline only applies to fleet submissions "
+                     "(add --serve SOCKET)")
     executor = set_default_executor(_build_executor(args))
     # Graceful shutdown is a CLI concern: libraries never install signal
     # handlers, the CLI does, around exactly the command execution.
@@ -381,6 +400,19 @@ def main(argv=None) -> int:
         # executor fought before giving up.
         print(f"FAILED (strict): {exc.failure.summary()}", file=sys.stderr)
         _print_summary(executor)
+        return 1
+    except ConnectionError as exc:
+        # Fleet mode: an unreachable service is an environment problem,
+        # not a crash — one line on stderr, conventional exit 2.  Any
+        # other refusal (rejected submission, mid-stream hangup) keeps
+        # the server's own message and exits 1.
+        if not args.serve:
+            raise
+        if "cannot reach" in str(exc):
+            print(f"cannot connect to {args.serve} "
+                  "(is the server running?)", file=sys.stderr)
+            return 2
+        print(f"serve: {exc}", file=sys.stderr)
         return 1
     except SweepInterrupted as exc:
         # Graceful signal shutdown: the journal is flushed, progress is

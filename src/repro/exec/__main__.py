@@ -24,6 +24,16 @@ right shard), and counts entries still in the flat pre-shard layout.
 atomic per entry (one ``os.replace`` each), so it is safe to interrupt
 and safe to run while readers are live.
 
+When a fleet has run against this cache (``<cache>/serve/`` WALs
+exist), ``fsck`` also audits the fleet's queue/lease books: it counts
+every record kind — ``quarantine`` and deadline-``expired`` resolutions
+included — and cross-checks each quarantined hash against the store.  A
+quarantined spec *should* be a store hole (that is what quarantine
+means); one with a sound store entry is a stale poison verdict, flagged
+as a defect.  ``--prune`` absolves it (a ``done`` record supersedes the
+quarantine, a lease ``reset`` retires its crash-loop pedigree) so the
+next submission reads the result instead of replaying the hole.
+
 Every invocation appends its report as one ``fsck`` record to
 ``<journal-dir>/fsck.jsonl`` — the same append-only, fsync'd discipline
 as the sweep journals — so repairs are themselves journaled.  Exit
@@ -39,6 +49,54 @@ from typing import List, Optional
 
 from repro.exec.journal import SweepJournal, scan_journals
 from repro.exec.store import ResultStore
+
+
+def _audit_fleet(store: ResultStore, prune: bool) -> int:
+    """Cross-check the fleet WALs (when present) against the store.
+
+    Returns the number of *unrepaired* defects: quarantined hashes
+    whose store entry is sound — a stale poison verdict that would make
+    every future submission replay a hole over a perfectly good result.
+    With ``prune`` those are absolved in place and don't count.
+    """
+    queue_path = store.serve_dir / "queue.jsonl"
+    if not queue_path.exists():
+        return 0
+    # Imported here, not at module top: repro.exec must stay importable
+    # without repro.serve (the service depends on the executor, never
+    # the reverse).
+    from repro.serve.fleet import Fleet
+
+    fleet = Fleet(store.serve_dir)
+    snap = fleet.snapshot()
+    plain_failed = (len(snap.failures) - len(snap.quarantined)
+                    - len(snap.expired))
+    line = (f"  fleet WAL: {len(snap.enqueued)} enqueued, "
+            f"{len(snap.done)} done, {plain_failed} failed, "
+            f"{len(snap.quarantined)} quarantined, "
+            f"{len(snap.expired)} deadline-expired")
+    if snap.corrupt_lines:
+        line += f", {snap.corrupt_lines} corrupt line(s) skipped"
+    print(line)
+    defects = 0
+    for spec_hash in sorted(snap.quarantined):
+        path = store.shard_path(spec_hash)
+        if not path.exists():
+            path = store.flat_path(spec_hash)
+        if not path.exists() or store.verify_entry(path) is not None:
+            # Consistent: the poison verdict and the store hole agree
+            # (a defective entry reads as a hole too).
+            continue
+        if prune:
+            if fleet.absolve(spec_hash):
+                print(f"  absolved {spec_hash[:12]}… (quarantined, but "
+                      "its store entry is sound; done record appended)")
+            continue
+        defects += 1
+        print(f"  fleet WAL: {spec_hash[:12]}… is quarantined but its "
+              "store entry is sound — stale poison verdict (re-run "
+              "with --prune to absolve)")
+    return defects
 
 
 def _cmd_fsck(args: argparse.Namespace) -> int:
@@ -63,11 +121,14 @@ def _cmd_fsck(args: argparse.Namespace) -> int:
             except OSError as exc:
                 print(f"  journal {path.name}: prune failed: {exc}")
 
+    fleet_defects = _audit_fleet(store, args.prune)
+
     # The repair is itself journaled: one fsck record, same append-only
     # fsync'd discipline as the sweep journals it lives beside.
     fsck_log = SweepJournal(store.journal_dir / "fsck.jsonl", sweep_id="fsck")
     payload = report.describe()
     payload["pruned_journals"] = pruned_journals
+    payload["fleet_defects"] = fleet_defects
     fsck_log.append("fsck", report=payload)
 
     if report.problems and not args.prune:
@@ -77,7 +138,7 @@ def _cmd_fsck(args: argparse.Namespace) -> int:
         return 1
     unpruned = [name for name, _why in report.problems
                 if name not in report.pruned]
-    return 1 if unpruned else 0
+    return 1 if unpruned or fleet_defects else 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:

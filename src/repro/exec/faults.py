@@ -44,6 +44,19 @@ Fault kinds (grammar: comma-separated ``kind:rate`` pairs plus ``seed=N``):
   count 1), so a reclaimed lease always runs to completion and a
   chaos fleet provably converges — the same one-shot shape as
   ``kill-orchestrator``.
+* ``disk-full`` — a store or fleet-WAL write raises
+  ``OSError(ENOSPC)`` mid-write, as a full disk would; exercises the
+  fail-clean discipline (no torn entry, no leaked temp) and the
+  fleet's release-and-reclaim path.  Fleet-side only, and consulted
+  only on a spec's *first* lease — the retry after reclaim always
+  writes through, so a chaos fleet provably converges.
+* ``poison:HASH_PREFIX`` — not a rate but a spec selector: every
+  fleet worker that leases a spec whose content hash starts with the
+  prefix dies with ``os._exit(76)``, on *every* lease.  This is the
+  deterministic crash-loop the quarantine machinery exists for: the
+  spec burns through ``max_leases`` leases and the fleet durably
+  quarantines it as a ``FailedRun(kind="poison")`` hole instead of
+  crash-looping forever.
 
 Like :mod:`repro.sanitize`, the environment variable is read **once, at
 import**: worker processes inherit the environment (and, under the
@@ -56,6 +69,7 @@ with :func:`set_active_plan`.
 
 from __future__ import annotations
 
+import errno
 import hashlib
 import os
 import time
@@ -67,8 +81,11 @@ from typing import Optional
 FAULTS_ENV = "REPRO_FAULTS"
 
 #: Recognised fault kinds, in the order they are checked per attempt.
+#: ``poison`` is deliberately absent: it is a hash-prefix selector, not
+#: a rated kind (see :attr:`FaultPlan.poison`).
 FAULT_KINDS = ("die", "hang", "crash", "corrupt-store",
-               "kill-orchestrator", "corrupt-journal", "kill-worker")
+               "kill-orchestrator", "corrupt-journal", "kill-worker",
+               "disk-full")
 
 #: Exit code of an injected orchestrator kill (EX_TEMPFAIL: rerunnable,
 #: distinct from the watchdog's 70 and the signal exits 130/143).
@@ -111,6 +128,10 @@ class FaultPlan:
     kill_orchestrator: float = 0.0
     corrupt_journal: float = 0.0
     kill_worker: float = 0.0
+    disk_full: float = 0.0
+    #: Content-hash prefix naming the poison specs ("" = none): every
+    #: fleet worker leasing a matching spec dies, on every lease.
+    poison: str = ""
     seed: int = 0
     #: How long an injected hang sleeps in a pool worker; far beyond any
     #: reasonable ``--timeout`` so the watchdog always wins.
@@ -118,7 +139,8 @@ class FaultPlan:
 
     @property
     def armed(self) -> bool:
-        return any(self._rate(kind) > 0 for kind in FAULT_KINDS)
+        return (any(self._rate(kind) > 0 for kind in FAULT_KINDS)
+                or bool(self.poison))
 
     def _rate(self, kind: str) -> float:
         return {
@@ -129,6 +151,7 @@ class FaultPlan:
             "kill-orchestrator": self.kill_orchestrator,
             "corrupt-journal": self.corrupt_journal,
             "kill-worker": self.kill_worker,
+            "disk-full": self.disk_full,
         }[kind]
 
     def decide(self, kind: str, spec_hash: str, attempt: int) -> bool:
@@ -147,6 +170,8 @@ class FaultPlan:
     def describe(self) -> str:
         parts = [f"{kind}:{self._rate(kind):g}"
                  for kind in FAULT_KINDS if self._rate(kind) > 0]
+        if self.poison:
+            parts.append(f"poison:{self.poison}")
         parts.append(f"seed={self.seed}")
         return ",".join(parts)
 
@@ -155,15 +180,18 @@ def parse_fault_spec(text: str) -> Optional[FaultPlan]:
     """Parse the ``REPRO_FAULTS`` grammar into a plan (None when empty).
 
     Grammar: comma-separated ``kind:rate`` pairs (rates in ``[0, 1]``)
-    with an optional ``seed=N``.  Unknown kinds, malformed rates and
-    out-of-range rates raise ``ValueError`` — a silently ignored fault
-    spec would defeat the whole point of a chaos run.
+    with an optional ``seed=N`` and an optional ``poison:HASH_PREFIX``
+    (a lowercase-hex content-hash prefix, not a rate).  Unknown kinds,
+    malformed rates and out-of-range rates raise ``ValueError`` — a
+    silently ignored fault spec would defeat the whole point of a
+    chaos run.
     """
     text = text.strip()
     if not text:
         return None
     rates = {kind: 0.0 for kind in FAULT_KINDS}
     seed = 0
+    poison = ""
     for token in text.split(","):
         token = token.strip()
         if not token:
@@ -180,9 +208,22 @@ def parse_fault_spec(text: str) -> Optional[FaultPlan]:
                 f"bad fault token {token!r}; expected kind:rate or seed=N"
             )
         kind = kind.strip()
+        if kind == "poison":
+            # A hash-prefix selector, not a rate: validated as hex so a
+            # typo'd rate ("poison:0.5") cannot silently select nothing.
+            prefix = rate_text.strip()
+            if not prefix or not all(c in "0123456789abcdef"
+                                     for c in prefix):
+                raise ValueError(
+                    f"bad poison prefix in {token!r}; expected a "
+                    "lowercase-hex content-hash prefix"
+                )
+            poison = prefix
+            continue
         if kind not in rates:
             raise ValueError(
-                f"unknown fault kind {kind!r}; known: {', '.join(FAULT_KINDS)}"
+                f"unknown fault kind {kind!r}; known: "
+                f"{', '.join(FAULT_KINDS)}, poison"
             )
         try:
             rate = float(rate_text)
@@ -199,6 +240,8 @@ def parse_fault_spec(text: str) -> Optional[FaultPlan]:
         kill_orchestrator=rates["kill-orchestrator"],
         corrupt_journal=rates["corrupt-journal"],
         kill_worker=rates["kill-worker"],
+        disk_full=rates["disk-full"],
+        poison=poison,
         seed=seed,
     )
 
@@ -308,6 +351,37 @@ def should_kill_worker(
     if plan is None:
         return False
     return plan.decide("kill-worker", spec_hash, 1)
+
+
+def should_poison(plan: Optional[FaultPlan], spec_hash: str) -> bool:
+    """Whether ``spec_hash`` names a poison spec under ``plan``.
+
+    A poison spec kills every fleet worker that leases it, on *every*
+    lease (unlike ``kill-worker``'s first-lease-only shape) — that is
+    what makes it a crash loop no retry can escape, and what the
+    quarantine machinery in :mod:`repro.serve.fleet` exists to bound.
+    """
+    if plan is None or not plan.poison:
+        return False
+    return spec_hash.startswith(plan.poison)
+
+
+def maybe_disk_full(
+    plan: Optional[FaultPlan], key: str, attempt: int,
+) -> None:
+    """Raise ``OSError(ENOSPC)`` when the disk-full schedule says so.
+
+    Consulted by fleet-side writers (the result store's ``put`` and the
+    fleet WAL's resolution appends) with ``attempt`` = the spec's lease
+    count; only first-lease writes consult the schedule, so the write
+    after a release-and-reclaim always goes through and a chaos fleet
+    provably converges — the same one-shot shape as ``kill-worker``.
+    """
+    if plan is None or attempt != 1:
+        return
+    if not plan.decide("disk-full", key, 1):
+        return
+    raise OSError(errno.ENOSPC, f"injected disk-full (chaos) writing {key}")
 
 
 def maybe_corrupt_journal_line(

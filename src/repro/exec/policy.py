@@ -38,7 +38,7 @@ class FailedRun:
     attempts: int
     error: str
     elapsed: float = 0.0
-    kind: str = "error"   # "error" | "timeout"
+    kind: str = "error"   # "error" | "timeout" | "poison"
 
     def describe(self) -> Dict[str, Any]:
         """JSON-ready form; round-trips through :meth:`from_dict`."""
@@ -50,7 +50,8 @@ class FailedRun:
         return cls(**{k: v for k, v in payload.items() if k in known})
 
     def summary(self) -> str:
-        noun = "timeout" if self.kind == "timeout" else "error"
+        nouns = {"timeout": "timeout", "poison": "poison"}
+        noun = nouns.get(self.kind, "error")
         return (f"{self.benchmark}/{self.mechanism} failed after "
                 f"{self.attempts} attempt{'s' if self.attempts != 1 else ''} "
                 f"({noun}: {self.error})")
@@ -110,6 +111,18 @@ class RetryPolicy:
     @property
     def max_attempts(self) -> int:
         return self.retries + 1
+
+    @property
+    def max_leases(self) -> int:
+        """Fleet leases a spec may burn before it is quarantined as poison.
+
+        One more than :attr:`max_attempts`: a single arbitrary worker
+        death (the ``kill-worker`` drill) must never quarantine a spec,
+        but a spec that takes down *every* worker that leases it crosses
+        this bound on its deterministic crash-loop and gets resolved
+        fleet-wide instead of wedging the fleet.
+        """
+        return self.max_attempts + 1
 
     def backoff_delay(self, spec_hash: str, attempt: int) -> float:
         """Seconds to wait before re-attempting after failed ``attempt``.

@@ -54,6 +54,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.core.simulation import RunResult
+from repro.exec.faults import active_plan, maybe_disk_full
 from repro.exec.runspec import RunSpec
 
 #: Bump when the stored payload layout (or RunResult schema) changes;
@@ -292,8 +293,18 @@ class ResultStore:
               file=sys.stderr)
         return None
 
-    def put(self, spec: RunSpec, result: RunResult) -> Path:
-        """Atomically and durably persist ``result`` under ``spec``'s hash."""
+    def put(self, spec: RunSpec, result: RunResult,
+            fault_attempt: Optional[int] = None) -> Path:
+        """Atomically and durably persist ``result`` under ``spec``'s hash.
+
+        ``fault_attempt`` opts this write into the deterministic
+        ``disk-full`` chaos schedule (callers pass the spec's attempt or
+        lease count): when the schedule fires, the write dies with
+        ``OSError(ENOSPC)`` *mid-payload* — a torn temp file on a full
+        disk — and this method's fail-clean guarantee is what the drill
+        proves: the temp is removed, no entry lands under the real hash,
+        and a retry (on a disk with room) succeeds from scratch.
+        """
         path = self.path_for(spec)
         path.parent.mkdir(parents=True, exist_ok=True)
         result_payload = dataclasses.asdict(result)
@@ -303,10 +314,23 @@ class ResultStore:
             "result": result_payload,
             "checksum": result_checksum(result_payload),
         }
+        text = json.dumps(payload, sort_keys=True, indent=1)
         tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
         try:
             with open(tmp, "w", encoding="utf-8") as handle:
-                handle.write(json.dumps(payload, sort_keys=True, indent=1))
+                if fault_attempt is not None:
+                    try:
+                        maybe_disk_full(active_plan(),
+                                        f"put:{spec.content_hash}",
+                                        fault_attempt)
+                    except OSError:
+                        # Tear the write the way a real ENOSPC would:
+                        # part of the payload lands, then the device
+                        # refuses the rest.
+                        handle.write(text[: len(text) // 2])
+                        handle.flush()
+                        raise
+                handle.write(text)
                 handle.flush()
                 os.fsync(handle.fileno())
             os.replace(tmp, path)

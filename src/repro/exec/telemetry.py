@@ -48,6 +48,9 @@ class Telemetry:
     # -- fleet service (see repro.serve) --------------------------------------
     leased: int = 0             # specs this client's submission enqueued
     shared: int = 0             # specs answered by another client's in-flight work
+    shed: int = 0               # overloaded refusals absorbed before admission
+    quarantined: int = 0        # holes resolved by a poison-quarantine record
+    expired: int = 0            # holes resolved by a deadline-expiry record
 
     # -- recording ------------------------------------------------------------
 

@@ -220,6 +220,9 @@ EXECUTOR_SERIES = (
     # fleet service (see repro.serve): specs this client's submission
     # enqueued vs. answered by another client's in-flight work
     "executor.leased", "executor.shared",
+    # fleet hardening: submissions shed by admission control, poison
+    # specs resolved by quarantine, deadline-expired holes
+    "executor.shed", "executor.quarantined", "executor.expired",
 )
 
 
@@ -249,6 +252,9 @@ def harvest_executor(telemetry: Any,
         "executor.journal_served": getattr(telemetry, "journal_served", 0),
         "executor.leased": getattr(telemetry, "leased", 0),
         "executor.shared": getattr(telemetry, "shared", 0),
+        "executor.shed": getattr(telemetry, "shed", 0),
+        "executor.quarantined": getattr(telemetry, "quarantined", 0),
+        "executor.expired": getattr(telemetry, "expired", 0),
     }
     for name in EXECUTOR_SERIES:
         unit = "seconds" if name.endswith("seconds") else "count"
@@ -292,6 +298,9 @@ def executor_summary_line(telemetry: Any,
         ("executor.journal_served", "journal-served"),
         ("executor.leased", "leased"),
         ("executor.shared", "shared"),
+        ("executor.shed", "shed"),
+        ("executor.quarantined", "quarantined"),
+        ("executor.expired", "expired"),
         ("executor.retries", "retries"),
         ("executor.timeouts", "timeouts"),
         ("executor.pool_rebuilds", "pool rebuilds"),

@@ -24,11 +24,13 @@ from __future__ import annotations
 
 import socket
 import sys
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.simulation import RunResult
 from repro.exec.executor import Executor
+from repro.exec.faults import stable_fraction
 from repro.exec.policy import FailedRun, SpecExhausted
 from repro.exec.runspec import RunSpec
 from repro.exec.telemetry import (
@@ -41,6 +43,7 @@ from repro.serve.protocol import (
     MSG_COMPLETE,
     MSG_ERROR,
     MSG_FAILED,
+    MSG_OVERLOADED,
     MSG_RESULT,
     ProtocolError,
     decode_message,
@@ -50,6 +53,15 @@ from repro.serve.protocol import (
 #: Default per-connection socket timeout, seconds.  Generous: a cold
 #: fleet may take a while to chew through a large sweep; None disables.
 DEFAULT_TIMEOUT = 600.0
+
+#: How many ``overloaded`` sheds one submission rides out before giving
+#: up.  Generous on purpose: with exponential backoff this spans far
+#: longer than any transient burst, while still bounding a submission
+#: against a server that will never have room.
+MAX_SHED_RETRIES = 50
+
+#: Ceiling on any single backoff sleep, seconds.
+BACKOFF_CAP = 2.0
 
 
 class ServeUnavailable(ConnectionError):
@@ -71,6 +83,12 @@ class SubmitOutcome:
     leased: int = 0
     shared: int = 0
     store_hits: int = 0
+    #: ``overloaded`` refusals absorbed (and retried) on the way in.
+    shed: int = 0
+    #: Holes resolved by a fleet quarantine record (kind ``poison``).
+    quarantined: int = 0
+    #: Holes resolved by a deadline-expiry record (kind ``timeout``).
+    expired: int = 0
 
 
 class SweepClient:
@@ -109,24 +127,69 @@ class SweepClient:
             ) from None
         return conn
 
-    def submit(self, specs: Sequence[RunSpec]) -> SubmitOutcome:
-        """Submit ``specs``; block until every unique hash resolves."""
+    def submit(
+        self,
+        specs: Sequence[RunSpec],
+        deadline: Optional[float] = None,
+        retry_failed: bool = False,
+    ) -> SubmitOutcome:
+        """Submit ``specs``; block until every unique hash resolves.
+
+        An ``overloaded`` answer is not a failure: the server quoted a
+        deterministic ``retry_after`` and reserved nothing, so the
+        client sleeps a seeded, exponentially growing backoff (jittered
+        per client so a shed burst does not re-arrive in lockstep) and
+        resubmits, up to :data:`MAX_SHED_RETRIES` times.
+
+        ``deadline`` is absolute epoch seconds: specs the fleet cannot
+        start by then come back as ``kind="timeout"`` holes.
+        ``retry_failed`` asks the server to re-open recorded failures
+        (quarantined specs included) instead of replaying them.
+        """
         outcome = SubmitOutcome()
         if not specs:
             return outcome
-        conn = self._connect()
-        try:
-            conn.sendall(submit_message(list(specs), self.client_id))
-            stream = conn.makefile("rb")
+        message = submit_message(list(specs), self.client_id,
+                                 deadline=deadline,
+                                 retry_failed=retry_failed)
+        attempt = 0
+        while True:
+            attempt += 1
+            conn = self._connect()
             try:
-                self._read_stream(stream, outcome)
+                conn.sendall(message)
+                stream = conn.makefile("rb")
+                try:
+                    retry_after = self._read_stream(stream, outcome)
+                finally:
+                    stream.close()
             finally:
-                stream.close()
-        finally:
-            conn.close()
-        return outcome
+                conn.close()
+            if retry_after is None:
+                return outcome
+            outcome.shed += 1
+            if attempt >= MAX_SHED_RETRIES:
+                raise ServeUnavailable(
+                    f"server still overloaded after {attempt} submission "
+                    "attempts"
+                )
+            time.sleep(self._backoff(retry_after, attempt))
 
-    def _read_stream(self, stream, outcome: SubmitOutcome) -> None:
+    def _backoff(self, retry_after: float, attempt: int) -> float:
+        """Seconds to wait after shed number ``attempt``.
+
+        Deterministic: exponential in the attempt with a [0, 1)-scaled
+        jitter from a SHA-256 of (client id, attempt) — same discipline
+        as the retry policy's backoff — so overload tests converge
+        identically run to run, yet distinct clients never hammer back
+        in lockstep.
+        """
+        base = max(retry_after, 0.001)
+        raw = base * (2.0 ** (attempt - 1))
+        jitter = stable_fraction(f"{self.client_id}:shed:{attempt}")
+        return min(raw * (1.0 + jitter), BACKOFF_CAP)
+
+    def _read_stream(self, stream, outcome: SubmitOutcome) -> Optional[float]:
         while True:
             line = stream.readline()
             if not line:
@@ -175,7 +238,13 @@ class SweepClient:
                 outcome.leased = int(record.get("leased", 0))
                 outcome.shared = int(record.get("shared", 0))
                 outcome.store_hits = int(record.get("store", 0))
-                return
+                outcome.quarantined = int(record.get("quarantined", 0))
+                outcome.expired = int(record.get("expired", 0))
+                return None
+            if kind == MSG_OVERLOADED:
+                # Nothing was reserved; the caller backs off and
+                # resubmits the whole message.
+                return float(record.get("retry_after", 0.05))
             if kind == MSG_ERROR:
                 raise ServeUnavailable(
                     f"server rejected the submission: {record.get('message')}"
@@ -201,6 +270,7 @@ class ServeExecutor(Executor):
         host: Optional[str] = None,
         port: Optional[int] = None,
         client_id: str = "client",
+        deadline: Optional[float] = None,
         **kwargs: object,
     ) -> None:
         super().__init__(**kwargs)  # type: ignore[arg-type]
@@ -208,11 +278,20 @@ class ServeExecutor(Executor):
             socket_path=socket_path, host=host, port=port,
             client_id=client_id,
         )
+        #: Relative seconds granted per submission; converted to the
+        #: absolute wire deadline at submit time.  None = no deadline.
+        self.deadline = deadline
 
     def _simulate(self, specs: List[RunSpec]) -> None:
-        outcome = self.client.submit(specs)
+        absolute = (time.time() + self.deadline
+                    if self.deadline is not None else None)
+        outcome = self.client.submit(specs, deadline=absolute,
+                                     retry_failed=self.retry_failed)
         self.telemetry.leased += outcome.leased
         self.telemetry.shared += outcome.shared
+        self.telemetry.shed += outcome.shed
+        self.telemetry.quarantined += outcome.quarantined
+        self.telemetry.expired += outcome.expired
         total = len(specs)
         done = 0
         for spec in specs:

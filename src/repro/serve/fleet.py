@@ -7,11 +7,15 @@ JSON-lines WALs under ``<cache>/serve/`` plus one lock file:
 ``queue.jsonl``
     The work itself.  ``enqueue`` records carry the full spec payload
     (the :meth:`~repro.exec.runspec.RunSpec.describe` dict, hash-
-    verified on read), ``done``/``failed`` records resolve a spec, and
-    a ``requeue`` record re-opens a resolved spec whose promised store
-    entry has gone missing.  The server appends ``enqueue``/``requeue``;
-    workers append ``done``/``failed``; the server tails the file to
-    learn of resolutions.
+    verified on read) and optionally a ``deadline``; ``done``/``failed``
+    records resolve a spec; a ``requeue`` record re-opens a resolved
+    spec whose promised store entry has gone missing; a ``quarantine``
+    record resolves a poison spec fleet-wide (see below); an
+    ``expired`` record resolves a spec whose deadline passed before any
+    worker could start it.  The server appends ``enqueue``/``requeue``/
+    ``expired``; workers append ``done``/``failed``; whichever claimant
+    trips the lease bound appends ``quarantine``; the server tails the
+    file to learn of resolutions.
 
 ``leases.jsonl``
     Who is working on what.  ``lease`` records carry the worker id, a
@@ -38,6 +42,21 @@ The injected kill (:func:`repro.exec.faults.should_kill_worker`) fires
 only on a spec's first lease, so the reclaimed lease always runs to
 completion — the same one-shot schedule shape that makes
 ``kill-orchestrator`` resume loops terminate.
+
+**Poison quarantine** closes the hole that one-shot schedules leave
+open in real life: a spec that *deterministically* kills every worker
+that leases it (a simulator bug, a pathological configuration) would
+crash-loop the fleet forever — lease, die, expire, reclaim, die, … .
+The lease book already counts every lease a spec has ever burned, so
+the claim transaction enforces a bound: a claimant that would grant a
+lease past ``max_leases`` (derived from
+:attr:`repro.exec.policy.RetryPolicy.max_leases` — one more than the
+retry budget, so a single arbitrary worker death never trips it)
+instead appends a durable ``quarantine`` record resolving the spec
+fleet-wide as a ``FailedRun(kind="poison")`` hole.  Subscribers get the
+hole streamed like any failure; the fleet moves on; the spec runs again
+only after an explicit ``quarantine clear`` (a ``requeue`` plus a lease
+``reset`` so its count restarts from zero).
 """
 
 from __future__ import annotations
@@ -45,9 +64,9 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Tuple, Union
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple, Union
 
-from repro.exec.policy import FailedRun
+from repro.exec.policy import FailedRun, RetryPolicy
 from repro.serve import wal
 
 try:
@@ -68,10 +87,13 @@ KIND_ENQUEUE = "enqueue"
 KIND_REQUEUE = "requeue"
 KIND_DONE = "done"
 KIND_FAILED = "failed"
+KIND_QUARANTINE = "quarantine"
+KIND_EXPIRED = "expired"
 KIND_LEASE = "lease"
 KIND_RENEW = "renew"
 KIND_RELEASE = "release"
 KIND_EXPIRE = "expire"
+KIND_RESET = "reset"
 
 
 @dataclass(frozen=True)
@@ -82,6 +104,10 @@ class Claim:
     payload: Dict[str, Any]
     lease_count: int
     expires: float
+    #: Absolute wall-clock deadline the submission travelled with, or
+    #: None.  The worker checks it *before* simulating; a spec claimed
+    #: in time may legitimately finish after it.
+    deadline: Optional[float] = None
 
 
 @dataclass
@@ -98,6 +124,14 @@ class FleetSnapshot:
     leases: Dict[str, Tuple[str, int, float]] = field(default_factory=dict)
     #: spec hash -> total leases ever granted (feeds the next count).
     lease_counts: Dict[str, int] = field(default_factory=dict)
+    #: Hashes resolved by a durable ``quarantine`` record (their
+    #: FailedRun also sits in :attr:`failures`, kind ``poison``).
+    quarantined: Set[str] = field(default_factory=set)
+    #: Hashes resolved by a deadline-``expired`` record (their
+    #: FailedRun also sits in :attr:`failures`, kind ``timeout``).
+    expired: Set[str] = field(default_factory=set)
+    #: spec hash -> absolute deadline its submission travelled with.
+    deadlines: Dict[str, float] = field(default_factory=dict)
     corrupt_lines: int = 0
 
     @property
@@ -122,9 +156,15 @@ class Fleet:
         self,
         root: Union[str, Path],
         ttl: float = DEFAULT_LEASE_TTL,
+        max_leases: Optional[int] = None,
     ) -> None:
         self.root = Path(root)
         self.ttl = float(ttl)
+        #: Leases a spec may burn before the claim transaction
+        #: quarantines it as poison.  Defaults to the retry policy's
+        #: derivation (one more than the attempt budget).
+        self.max_leases = (RetryPolicy().max_leases
+                           if max_leases is None else int(max_leases))
         self.queue_path = self.root / "queue.jsonl"
         self.lease_path = self.root / "leases.jsonl"
         self.lock_path = self.root / "fleet.lock"
@@ -153,23 +193,37 @@ class Fleet:
                 payload = record.get("payload")
                 if isinstance(payload, dict):
                     snap.enqueued.setdefault(spec, payload)
+                    deadline = record.get("deadline")
+                    if isinstance(deadline, (int, float)):
+                        snap.deadlines.setdefault(spec, float(deadline))
             elif kind == KIND_REQUEUE and spec:
                 # A broken promise undone: the spec's resolution is
                 # erased so it becomes pending (and claimable) again.
+                # Requeued work carries no deadline — the original one
+                # already had its chance to expire the spec.
                 payload = record.get("payload")
                 if isinstance(payload, dict):
                     snap.enqueued.setdefault(spec, payload)
                 snap.done.pop(spec, None)
                 snap.failures.pop(spec, None)
+                snap.quarantined.discard(spec)
+                snap.expired.discard(spec)
+                snap.deadlines.pop(spec, None)
             elif kind == KIND_DONE and spec:
                 snap.done[spec] = record
                 snap.failures.pop(spec, None)
-            elif kind == KIND_FAILED and spec:
+                snap.quarantined.discard(spec)
+                snap.expired.discard(spec)
+            elif kind in (KIND_FAILED, KIND_QUARANTINE, KIND_EXPIRED) and spec:
                 failure = record.get("failure")
                 if isinstance(failure, dict):
                     try:
                         snap.failures[spec] = FailedRun.from_dict(failure)
                         snap.done.pop(spec, None)
+                        if kind == KIND_QUARANTINE:
+                            snap.quarantined.add(spec)
+                        elif kind == KIND_EXPIRED:
+                            snap.expired.add(spec)
                     except TypeError:
                         queue_corrupt += 1
         lease_records, lease_corrupt = wal.replay(self.lease_path)
@@ -199,12 +253,19 @@ class Fleet:
                     )
             elif kind in (KIND_RELEASE, KIND_EXPIRE):
                 snap.leases.pop(spec, None)
+            elif kind == KIND_RESET:
+                # ``quarantine clear`` absolution: the spec's lease
+                # pedigree restarts from zero so the cleared run gets a
+                # full budget again.
+                snap.leases.pop(spec, None)
+                snap.lease_counts.pop(spec, None)
         snap.corrupt_lines = queue_corrupt + lease_corrupt
         return snap
 
     # -- transactions ----------------------------------------------------------
 
-    def enqueue(self, payloads: Dict[str, Dict[str, Any]]) -> List[str]:
+    def enqueue(self, payloads: Dict[str, Dict[str, Any]],
+                deadline: Optional[float] = None) -> List[str]:
         """Add specs to the queue; returns the hashes actually appended.
 
         ``payloads`` maps content hash to describe-payload.  Hashes
@@ -215,6 +276,10 @@ class Fleet:
         (a worker will resolve it), or already resolved (no worker will
         touch it again — see :meth:`requeue` for re-opening one whose
         promised result has gone missing).
+
+        ``deadline`` (absolute wall-clock seconds) travels with each
+        appended record; pending work past it resolves as a
+        ``kind="timeout"`` hole instead of being simulated.
         """
         appended: List[str] = []
         with self._locked():
@@ -222,8 +287,13 @@ class Fleet:
             for spec, payload in payloads.items():
                 if spec in snap.enqueued:
                     continue
-                wal.append_record(self.queue_path, KIND_ENQUEUE,
-                                  spec=spec, payload=payload)
+                if deadline is None:
+                    wal.append_record(self.queue_path, KIND_ENQUEUE,
+                                      spec=spec, payload=payload)
+                else:
+                    wal.append_record(self.queue_path, KIND_ENQUEUE,
+                                      spec=spec, payload=payload,
+                                      deadline=deadline)
                 appended.append(spec)
         return appended
 
@@ -261,6 +331,19 @@ class Fleet:
         before the lock is released, so by the time the worker starts
         simulating, every other fleet member can see who owns the spec
         and until when.
+
+        The claim transaction is also where the fleet's two safety
+        bounds bite, because every claimant passes through it:
+
+        * a pending spec whose submission **deadline** has passed is
+          resolved as a ``kind="timeout"`` hole (``expired`` record)
+          instead of being leased — work nobody wants anymore is never
+          simulated;
+        * a pending spec that would burn a lease past
+          :attr:`max_leases` is resolved as a ``kind="poison"`` hole
+          (durable ``quarantine`` record) — a spec that kills every
+          worker that touches it crash-loops into the bound, not
+          forever.
         """
         with self._locked():
             snap = self.snapshot()
@@ -273,7 +356,14 @@ class Fleet:
             for spec in snap.pending():
                 if spec in snap.leases:
                     continue
+                deadline = snap.deadlines.get(spec)
+                if deadline is not None and deadline <= now:
+                    self._append_expired(snap, spec)
+                    continue
                 count = snap.lease_counts.get(spec, 0) + 1
+                if count > self.max_leases:
+                    self._append_quarantine(snap, spec, count - 1)
+                    continue
                 expires = now + self.ttl
                 wal.append_record(
                     self.lease_path, KIND_LEASE, spec=spec, worker=worker,
@@ -284,8 +374,43 @@ class Fleet:
                     payload=snap.enqueued[spec],
                     lease_count=count,
                     expires=expires,
+                    deadline=deadline,
                 )
         return None
+
+    def _append_expired(self, snap: FleetSnapshot, spec: str) -> FailedRun:
+        """Resolve one past-deadline spec (caller holds the lock)."""
+        payload = snap.enqueued.get(spec, {})
+        failure = FailedRun(
+            spec_hash=spec,
+            benchmark=str(payload.get("benchmark", "?")),
+            mechanism=str(payload.get("mechanism", "?")),
+            attempts=snap.lease_counts.get(spec, 0),
+            error="submission deadline passed before a worker could "
+                  "start this spec",
+            kind="timeout",
+        )
+        wal.append_record(self.queue_path, KIND_EXPIRED, spec=spec,
+                          failure=failure.describe())
+        return failure
+
+    def _append_quarantine(self, snap: FleetSnapshot, spec: str,
+                           burned: int) -> FailedRun:
+        """Quarantine one crash-looping spec (caller holds the lock)."""
+        payload = snap.enqueued.get(spec, {})
+        failure = FailedRun(
+            spec_hash=spec,
+            benchmark=str(payload.get("benchmark", "?")),
+            mechanism=str(payload.get("mechanism", "?")),
+            attempts=burned,
+            error=f"quarantined: {burned} consecutive leases died without "
+                  "resolving this spec (crash loop); re-attempt with "
+                  "--retry-failed or `quarantine clear`",
+            kind="poison",
+        )
+        wal.append_record(self.queue_path, KIND_QUARANTINE, spec=spec,
+                          failure=failure.describe())
+        return failure
 
     def renew(self, spec_hash: str, worker: str) -> Optional[float]:
         """Extend ``worker``'s live lease on ``spec_hash``.
@@ -297,24 +422,52 @@ class Fleet:
         replay enforces the same rule for records already on disk.
         """
         with self._locked():
-            lease = self.snapshot().leases.get(spec_hash)
+            snap = self.snapshot()
+            lease = snap.leases.get(spec_hash)
             if lease is None or lease[0] != worker:
+                return None
+            deadline = snap.deadlines.get(spec_hash)
+            if deadline is not None and deadline <= time.time():
+                # Renewal respects the submission deadline: a worker
+                # still heartbeating past it gets no extension — the
+                # lease lapses on schedule and the next claimant
+                # resolves the spec as expired.
                 return None
             expires = time.time() + self.ttl
             wal.append_record(self.lease_path, KIND_RENEW, spec=spec_hash,
                               worker=worker, expires=expires)
         return expires
 
-    def mark_done(self, spec_hash: str, worker: str, seconds: float) -> None:
+    def release(self, spec_hash: str, worker: str) -> None:
+        """End ``worker``'s lease without resolving the spec.
+
+        The clean way out of a failed *write* (a full disk, say): the
+        simulation succeeded but neither store entry nor ``done``
+        record could land, so the spec must go back on the market — now,
+        not after a TTL lapse.
+        """
+        with self._locked():
+            wal.append_record(self.lease_path, KIND_RELEASE, spec=spec_hash,
+                              worker=worker)
+
+    def mark_done(self, spec_hash: str, worker: str, seconds: float,
+                  lease_count: int = 0) -> None:
         """Resolve a spec: durably record completion, release the lease.
 
         The caller stores the result **first** (same write order as the
         executor's journal): a ``done`` record promises the result is
         re-readable from the store, so the promise must land last.
+
+        ``lease_count`` opts the ``done`` append into the one-shot
+        ``disk-full`` chaos schedule (first lease only); the append
+        fails clean (no torn record) and the caller releases the lease
+        for a prompt reclaim.
         """
         with self._locked():
             wal.append_record(self.queue_path, KIND_DONE, spec=spec_hash,
-                              worker=worker, seconds=round(seconds, 6))
+                              worker=worker, seconds=round(seconds, 6),
+                              fault_key=f"done:{spec_hash}",
+                              fault_attempt=lease_count)
             wal.append_record(self.lease_path, KIND_RELEASE, spec=spec_hash,
                               worker=worker)
 
@@ -326,6 +479,90 @@ class Fleet:
                               failure=failure.describe())
             wal.append_record(self.lease_path, KIND_RELEASE,
                               spec=failure.spec_hash, worker=worker)
+
+    def mark_expired(self, spec_hash: str, worker: str) -> Optional[FailedRun]:
+        """Resolve a claimed spec whose deadline passed before it ran.
+
+        The worker's half of deadline propagation: it checks the
+        deadline *after* claiming but *before* simulating, and hands
+        the spec back as a ``kind="timeout"`` hole.  Returns the
+        failure, or None when the spec was already resolved.
+        """
+        with self._locked():
+            snap = self.snapshot()
+            failure = None
+            if spec_hash in snap.pending():
+                failure = self._append_expired(snap, spec_hash)
+            wal.append_record(self.lease_path, KIND_RELEASE, spec=spec_hash,
+                              worker=worker)
+        return failure
+
+    def expire_deadlines(self, now: Optional[float] = None) -> List[str]:
+        """Resolve every pending, unleased spec whose deadline passed.
+
+        The server's half of deadline propagation: called from the
+        watcher so undispatched work expires even when no worker ever
+        shows up to trip the check in :meth:`claim`.  Returns the
+        hashes expired.
+        """
+        expired: List[str] = []
+        with self._locked():
+            snap = self.snapshot()
+            moment = time.time() if now is None else now
+            for spec in snap.pending():
+                if spec in snap.leases:
+                    continue
+                deadline = snap.deadlines.get(spec)
+                if deadline is not None and deadline <= moment:
+                    self._append_expired(snap, spec)
+                    expired.append(spec)
+        return expired
+
+    def clear_quarantine(
+        self, hashes: Optional[Iterable[str]] = None
+    ) -> List[str]:
+        """Re-open quarantined specs with a fresh lease budget.
+
+        Appends a ``requeue`` (erasing the poison resolution) plus a
+        lease ``reset`` (restarting the spec's lease count from zero)
+        for each quarantined hash — without the reset, the very next
+        claim would re-trip the quarantine bound.  ``hashes`` limits
+        the clear; None clears everything quarantined.  Returns the
+        hashes cleared.
+        """
+        cleared: List[str] = []
+        with self._locked():
+            snap = self.snapshot()
+            targets = snap.quarantined if hashes is None else (
+                set(hashes) & snap.quarantined)
+            for spec in sorted(targets):
+                payload = snap.enqueued.get(spec)
+                if payload is None:
+                    continue
+                wal.append_record(self.queue_path, KIND_REQUEUE,
+                                  spec=spec, payload=payload)
+                wal.append_record(self.lease_path, KIND_RESET, spec=spec)
+                cleared.append(spec)
+        return cleared
+
+    def absolve(self, spec_hash: str) -> bool:
+        """Retire a quarantine record whose spec later completed.
+
+        fsck's ``--prune`` repair: when a quarantined hash has a sound
+        store entry after all (cleared and re-run through another
+        journal, or hand-repaired), the poison verdict is stale.  A
+        ``done`` record supersedes it — the promise it makes (the
+        result is re-readable) is exactly what fsck just verified — and
+        a lease ``reset`` retires the crash-loop pedigree.
+        """
+        with self._locked():
+            snap = self.snapshot()
+            if spec_hash not in snap.quarantined:
+                return False
+            wal.append_record(self.queue_path, KIND_DONE, spec=spec_hash,
+                              worker="fsck", seconds=0.0)
+            wal.append_record(self.lease_path, KIND_RESET, spec=spec_hash)
+        return True
 
 
 class _FleetLock:

@@ -21,20 +21,33 @@ Message kinds
 -------------
 Client to server::
 
-    submit    {"specs": [<describe-dict>, ...], "client": "<name>"}
+    submit    {"specs": [<describe-dict>, ...], "client": "<name>",
+               "deadline": <epoch-seconds, optional>,
+               "retry_failed": <bool, optional>}
 
 Server to client::
 
-    accepted  {"n": N, "leased": L, "shared": S, "store": H}
-    result    {"spec": hash, "source": .., "seconds": .., "result":
-               <RunResult dict>, "metrics": <derived-rates dict>}
-    failed    {"spec": hash, "failure": <FailedRun dict>}
-    complete  {"leased": L, "shared": S, "store": H}
-    error     {"message": "..."}
+    accepted    {"n": N, "leased": L, "shared": S, "store": H}
+    overloaded  {"retry_after": seconds, "message": "..."}
+    result      {"spec": hash, "source": .., "seconds": .., "result":
+                 <RunResult dict>, "metrics": <derived-rates dict>}
+    failed      {"spec": hash, "failure": <FailedRun dict>}
+    complete    {"leased": L, "shared": S, "store": H, "quarantined": Q,
+                 "expired": E}
+    error       {"message": "..."}
 
 ``result``/``failed`` stream as specs resolve, in resolution order (not
 submission order — the client reorders by hash); ``complete`` is always
-the final message of a successful submission.
+the final message of a successful submission.  ``overloaded`` is
+admission control's whole vocabulary: the server's in-flight table is
+at capacity (or this client has too much outstanding), nothing was
+reserved, and the client should retry after the quoted deterministic
+``retry_after`` — it closes the connection like ``error`` does, but it
+is an invitation, not a verdict.  ``deadline`` is an absolute
+wall-clock bound that travels with the work; specs the fleet cannot
+*start* by then resolve as ``kind="timeout"`` holes.  ``retry_failed``
+asks the server to re-open previously failed (including quarantined)
+specs instead of replaying their recorded failures.
 """
 
 from __future__ import annotations
@@ -57,6 +70,7 @@ PROTOCOL_VERSION = 1
 
 MSG_SUBMIT = "submit"
 MSG_ACCEPTED = "accepted"
+MSG_OVERLOADED = "overloaded"
 MSG_RESULT = "result"
 MSG_FAILED = "failed"
 MSG_COMPLETE = "complete"
@@ -170,13 +184,26 @@ def spec_from_payload(payload: Dict[str, Any]) -> RunSpec:
     return spec
 
 
-def submit_message(specs: List[RunSpec], client: str) -> bytes:
-    """The submission line for ``specs`` (order preserved, dupes kept)."""
-    return encode_message(
-        MSG_SUBMIT,
-        client=client,
-        specs=[spec_payload(spec) for spec in specs],
-    )
+def submit_message(specs: List[RunSpec], client: str,
+                   deadline: Optional[float] = None,
+                   retry_failed: bool = False) -> bytes:
+    """The submission line for ``specs`` (order preserved, dupes kept).
+
+    ``deadline`` is absolute epoch seconds; ``retry_failed`` asks the
+    server to re-open recorded failures (quarantined specs included)
+    instead of replaying them.  Both are omitted from the wire when at
+    their defaults, so a plain submission is byte-identical to one from
+    an older client.
+    """
+    fields: Dict[str, Any] = {
+        "client": client,
+        "specs": [spec_payload(spec) for spec in specs],
+    }
+    if deadline is not None:
+        fields["deadline"] = deadline
+    if retry_failed:
+        fields["retry_failed"] = True
+    return encode_message(MSG_SUBMIT, **fields)
 
 
 def batch_hashes(record: Dict[str, Any]) -> Optional[List[str]]:

@@ -28,6 +28,15 @@ Every blocking operation — store reads, WAL tails, flock-guarded
 enqueues — is offloaded with ``asyncio.to_thread``; nothing on the
 event loop touches a file.  simlint's SIM604 rule holds this module to
 that (see :mod:`repro.analysis.asyncrules`).
+
+Production hardening (see docs/service.md, "Overload, poison specs &
+deadlines"): admission control sheds submissions with a deterministic
+``overloaded`` retry hint when the in-flight table is at its watermark
+(``--max-queue``) or a client exceeds its in-flight cap
+(``--max-client-inflight``); the watcher doubles as the deadline
+sweeper, expiring undispatched work whose submission deadline passed;
+and ``quarantine``/``expired`` queue records stream to subscribers as
+annotated ``FailedRun`` holes exactly like worker failures do.
 """
 
 from __future__ import annotations
@@ -35,6 +44,7 @@ from __future__ import annotations
 import asyncio
 import json
 import sys
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Set
@@ -43,12 +53,19 @@ from repro.core.simulation import RunResult
 from repro.exec.store import ResultStore
 from repro.obs.metrics import derive_metrics, harvest_result
 from repro.serve import wal
-from repro.serve.fleet import KIND_DONE, KIND_FAILED, Fleet
+from repro.serve.fleet import (
+    KIND_DONE,
+    KIND_EXPIRED,
+    KIND_FAILED,
+    KIND_QUARANTINE,
+    Fleet,
+)
 from repro.serve.protocol import (
     MSG_ACCEPTED,
     MSG_COMPLETE,
     MSG_ERROR,
     MSG_FAILED,
+    MSG_OVERLOADED,
     MSG_RESULT,
     ProtocolError,
     batch_hashes,
@@ -78,6 +95,8 @@ class _Subscription:
     leased: int = 0
     shared: int = 0
     store_hits: int = 0
+    quarantined: int = 0
+    expired: int = 0
     finished: bool = False
 
     def progress(self) -> List[int]:
@@ -86,7 +105,8 @@ class _Subscription:
     def complete_message(self) -> bytes:
         return encode_message(
             MSG_COMPLETE, leased=self.leased, shared=self.shared,
-            store=self.store_hits,
+            store=self.store_hits, quarantined=self.quarantined,
+            expired=self.expired,
         )
 
 
@@ -102,6 +122,9 @@ class SweepServer:
         port: Optional[int] = None,
         watch_seconds: float = WATCH_SECONDS,
         max_line: int = MAX_LINE_BYTES,
+        max_queue: Optional[int] = None,
+        max_client_inflight: Optional[int] = None,
+        retry_after: float = 0.05,
     ) -> None:
         self.store = store
         self.fleet = fleet
@@ -111,14 +134,33 @@ class SweepServer:
         self.port = port
         self.watch_seconds = watch_seconds
         self.max_line = int(max_line)
+        #: Admission watermark: a submission is admitted only while the
+        #: in-flight table holds fewer than this many hashes (then its
+        #: whole batch is reserved — a watermark, not a hard size cap,
+        #: because a cap smaller than one batch could never admit it).
+        #: None = unbounded, the pre-hardening behaviour.
+        self.max_queue = max_queue
+        #: Per-client ceiling on outstanding (unresolved) hashes.
+        self.max_client_inflight = max_client_inflight
+        #: Deterministic base retry hint quoted in ``overloaded``
+        #: messages; clients jitter and exponentiate from it.
+        self.retry_after = float(retry_after)
         #: hash -> subscriptions awaiting it.  Only ever touched from
         #: the event loop, and reservation happens without awaiting.
         self._inflight: Dict[str, List[_Subscription]] = {}
+        #: Live subscriptions, for per-client in-flight accounting.
+        self._subs: List[_Subscription] = []
+        #: hash -> absolute deadline, for hashes this server enqueued
+        #: with one; tells the watcher when a sweep is worth running.
+        self._deadlines: Dict[str, float] = {}
         self._queue_offset = 0
         # Lifetime accounting (logged on shutdown, asserted by tests).
         self.leased_total = 0
         self.shared_total = 0
         self.store_total = 0
+        self.shed_total = 0
+        self.quarantined_total = 0
+        self.expired_total = 0
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -162,6 +204,7 @@ class SweepServer:
         writer: "asyncio.StreamWriter",
     ) -> None:
         """One connection, one submission, streamed until complete."""
+        # simlint: allow[SIM605] bounded by the submission's spec count, which admission control caps before anything is queued
         outbox: "asyncio.Queue[Optional[bytes]]" = asyncio.Queue()
         sender = asyncio.ensure_future(self._send_loop(writer, outbox))
         try:
@@ -237,7 +280,39 @@ class SweepServer:
             return
         payloads = record["specs"]
         client = str(record.get("client", "?"))
+        deadline = record.get("deadline")
+        deadline = float(deadline) if isinstance(deadline, (int, float)) \
+            else None
+        retry_failed = bool(record.get("retry_failed"))
+        unique = len(set(hashes))
+
+        if (self.max_client_inflight is not None
+                and unique > self.max_client_inflight):
+            # Bigger than the client's whole budget: retrying can never
+            # help, so this is an error, not an overload.
+            outbox.put_nowait(encode_message(
+                MSG_ERROR,
+                message=(f"submission of {unique} specs exceeds the "
+                         f"per-client in-flight cap of "
+                         f"{self.max_client_inflight}"),
+            ))
+            outbox.put_nowait(None)
+            return
+        # Admission control, checked synchronously before anything is
+        # reserved (so a shed submission leaves no trace to unwind).
+        shed_why = self._admission_refusal(client, unique)
+        if shed_why is not None:
+            self.shed_total += 1
+            outbox.put_nowait(encode_message(
+                MSG_OVERLOADED, retry_after=self.retry_after,
+                message=shed_why,
+            ))
+            outbox.put_nowait(None)
+            print(f"serve: shed {client}: {shed_why}", file=sys.stderr)
+            sys.stderr.flush()
+            return
         sub = _Subscription(client=client, outbox=outbox)
+        self._subs.append(sub)
 
         # Reservation is synchronous: between here and the end of the
         # loop there is no await, so a concurrent submission of the
@@ -270,13 +345,16 @@ class SweepServer:
                 to_enqueue[spec_hash] = payload
         if to_enqueue:
             appended = set(await asyncio.to_thread(
-                self.fleet.enqueue, to_enqueue))
+                self.fleet.enqueue, to_enqueue, deadline))
             sub.leased += len(appended)
+            if deadline is not None:
+                for spec_hash in appended:
+                    self._deadlines[spec_hash] = deadline
             skipped = {spec_hash: payload
                        for spec_hash, payload in to_enqueue.items()
                        if spec_hash not in appended}
             if skipped:
-                await self._adopt_skipped(skipped, sub)
+                await self._adopt_skipped(skipped, sub, retry_failed)
 
         self.leased_total += sub.leased
         self.shared_total += sub.shared
@@ -294,10 +372,33 @@ class SweepServer:
         sys.stderr.flush()
         self._finish_if_complete(sub)
 
+    def _admission_refusal(self, client: str, unique: int) -> Optional[str]:
+        """Why this submission must be shed right now, or None to admit.
+
+        Runs synchronously on the event loop against the same state the
+        reservation loop uses, so admission and reservation cannot
+        disagree.
+        """
+        if (self.max_queue is not None
+                and len(self._inflight) >= self.max_queue):
+            return (f"server at capacity ({len(self._inflight)} hashes "
+                    f"in flight, watermark {self.max_queue})")
+        if self.max_client_inflight is not None:
+            outstanding = sum(
+                len(s.pending) for s in self._subs
+                if s.client == client and not s.finished
+            )
+            if outstanding + unique > self.max_client_inflight:
+                return (f"client {client} has {outstanding} specs in "
+                        f"flight; {unique} more would exceed its cap of "
+                        f"{self.max_client_inflight}")
+        return None
+
     async def _adopt_skipped(
         self,
         skipped: Dict[str, Dict[str, Any]],
         sub: _Subscription,
+        retry_failed: bool = False,
     ) -> None:
         """Hashes the fleet already owns: resolve or re-open them.
 
@@ -312,9 +413,16 @@ class SweepServer:
         ``failed`` streams its recorded failure; a ``done`` whose store
         entry has been pruned is a broken promise — the spec is
         requeued so the fleet simulates it afresh.
+
+        ``retry_failed`` (an explicit client request) re-opens recorded
+        failures instead of replaying them: quarantined hashes are
+        cleared (requeue + lease reset — without the reset the next
+        claim would instantly re-trip the quarantine bound), plain
+        failures are requeued.
         """
         snap = await asyncio.to_thread(self.fleet.snapshot)
         to_requeue: Dict[str, Dict[str, Any]] = {}
+        to_clear: List[str] = []
         for spec_hash, payload in skipped.items():
             if spec_hash in snap.done:
                 entry = await asyncio.to_thread(self._load_entry, spec_hash)
@@ -325,11 +433,23 @@ class SweepServer:
                 else:
                     to_requeue[spec_hash] = payload
             elif spec_hash in snap.failures:
-                sub.shared += 1
-                self._resolve_failed(
-                    spec_hash, snap.failures[spec_hash].describe())
+                if retry_failed:
+                    if spec_hash in snap.quarantined:
+                        to_clear.append(spec_hash)
+                        sub.leased += 1
+                    else:
+                        to_requeue[spec_hash] = payload
+                else:
+                    sub.shared += 1
+                    self._resolve_failed(
+                        spec_hash, snap.failures[spec_hash].describe(),
+                        quarantined=spec_hash in snap.quarantined,
+                        expired=spec_hash in snap.expired,
+                    )
             else:
                 sub.shared += 1  # pending: already in flight fleet-wide
+        if to_clear:
+            await asyncio.to_thread(self.fleet.clear_quarantine, to_clear)
         if to_requeue:
             reopened = await asyncio.to_thread(self.fleet.requeue,
                                                to_requeue)
@@ -341,8 +461,16 @@ class SweepServer:
     # -- resolution ------------------------------------------------------------
 
     async def _watch(self) -> None:
-        """Tail the queue WAL; resolve subscribers as workers finish."""
+        """Tail the queue WAL; resolve subscribers as workers finish.
+
+        Also the deadline sweeper: when any hash this server enqueued
+        with a deadline comes due, one fleet transaction expires every
+        pending, unleased spec past its deadline — the resulting
+        ``expired`` records flow back through this very tail and
+        resolve the subscribers.
+        """
         while True:
+            await self._sweep_deadlines()
             records, self._queue_offset = await asyncio.to_thread(
                 wal.read_tail, self.fleet.queue_path, self._queue_offset
             )
@@ -356,14 +484,11 @@ class SweepServer:
                         self._load_entry, spec_hash
                     )
                     if entry is None:
-                        # Promised by the WAL but unreadable: surface it
-                        # as a failure, never hang the subscribers.
-                        self._resolve_failed(spec_hash, {
-                            "spec_hash": spec_hash,
-                            "benchmark": "?", "mechanism": "?",
-                            "attempts": 1,
-                            "error": "result store entry unreadable",
-                        })
+                        # Promised by the WAL but unreadable: a broken
+                        # promise, not a verdict — requeue so the fleet
+                        # simulates it afresh (the quarantine bound
+                        # caps how often a rotting entry can recycle).
+                        await self._requeue_broken(spec_hash)
                         continue
                     self._resolve_done(
                         spec_hash, entry, source="simulated",
@@ -373,7 +498,54 @@ class SweepServer:
                     failure = record.get("failure")
                     if isinstance(failure, dict):
                         self._resolve_failed(spec_hash, failure)
+                elif kind == KIND_QUARANTINE:
+                    failure = record.get("failure")
+                    if isinstance(failure, dict):
+                        self.quarantined_total += 1
+                        print(f"serve: quarantined poison spec "
+                              f"{spec_hash[:12]}…", file=sys.stderr)
+                        sys.stderr.flush()
+                        self._resolve_failed(spec_hash, failure,
+                                             quarantined=True)
+                elif kind == KIND_EXPIRED:
+                    failure = record.get("failure")
+                    if isinstance(failure, dict):
+                        self.expired_total += 1
+                        self._resolve_failed(spec_hash, failure,
+                                             expired=True)
             await asyncio.sleep(self.watch_seconds)
+
+    async def _sweep_deadlines(self) -> None:
+        """Expire undispatched past-deadline work (watcher tick half)."""
+        if not self._deadlines:
+            return
+        now = time.time()
+        due = [spec_hash for spec_hash, deadline in self._deadlines.items()
+               if deadline <= now]
+        if not due:
+            return
+        # One transaction covers every due hash; a due hash that is
+        # leased right now is legitimately running (claimed in time)
+        # and resolves through its worker instead.
+        await asyncio.to_thread(self.fleet.expire_deadlines)
+        for spec_hash in due:
+            self._deadlines.pop(spec_hash, None)
+
+    async def _requeue_broken(self, spec_hash: str) -> None:
+        """Re-open a ``done`` spec whose promised entry no longer reads."""
+        snap = await asyncio.to_thread(self.fleet.snapshot)
+        payload = snap.enqueued.get(spec_hash)
+        if payload is None:
+            # No payload to re-run from: surface the broken promise as
+            # a failure rather than hanging the subscribers.
+            self._resolve_failed(spec_hash, {
+                "spec_hash": spec_hash,
+                "benchmark": "?", "mechanism": "?",
+                "attempts": 1,
+                "error": "result store entry unreadable",
+            })
+            return
+        await asyncio.to_thread(self.fleet.requeue, {spec_hash: payload})
 
     def _resolve_done(
         self,
@@ -384,6 +556,7 @@ class SweepServer:
     ) -> None:
         """Stream one finished spec to every subscriber (event loop only)."""
         result_payload = entry["result"]
+        self._deadlines.pop(spec_hash, None)
         try:
             result = RunResult(**result_payload)
             harvest_result(result)
@@ -402,12 +575,18 @@ class SweepServer:
             self._finish_if_complete(sub)
 
     def _resolve_failed(
-        self, spec_hash: str, failure: Dict[str, Any]
+        self, spec_hash: str, failure: Dict[str, Any],
+        quarantined: bool = False, expired: bool = False,
     ) -> None:
+        self._deadlines.pop(spec_hash, None)
         for sub in self._inflight.pop(spec_hash, []):
             if spec_hash not in sub.pending:
                 continue
             sub.pending.discard(spec_hash)
+            if quarantined:
+                sub.quarantined += 1
+            if expired:
+                sub.expired += 1
             sub.outbox.put_nowait(encode_message(
                 MSG_FAILED, spec=spec_hash, failure=failure,
                 progress=sub.progress(),
@@ -421,6 +600,10 @@ class SweepServer:
             sub.finished = True
             sub.outbox.put_nowait(sub.complete_message())
             sub.outbox.put_nowait(None)
+            try:
+                self._subs.remove(sub)
+            except ValueError:
+                pass
 
     # -- store access (thread side) --------------------------------------------
 

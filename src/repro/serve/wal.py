@@ -17,22 +17,52 @@ on — the torn prefix is simply picked up whole on the next poll.
 
 from __future__ import annotations
 
+import errno
 import json
 import os
 from pathlib import Path
-from typing import Any, Dict, List, Tuple, Union
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.exec.faults import active_plan
 
 #: Bump when fleet record layouts change incompatibly; replays skip
 #: records with a newer ``v`` rather than mis-parsing them.
 FLEET_WAL_VERSION = 1
 
 
-def append_record(path: Union[str, Path], kind: str, **fields: Any) -> None:
+def _truncate_to(path: Path, size: int) -> None:
+    """Best-effort roll a failed append back to the pre-append size.
+
+    Replay would skip a torn final line anyway, but an *un*-terminated
+    tear silently swallows the next successful append into the same
+    garbage line — truncating restores the invariant that every byte in
+    the WAL belongs to a complete, fsync'd record.
+    """
+    try:
+        with open(path, "r+b") as handle:
+            handle.truncate(size)
+            handle.flush()
+            os.fsync(handle.fileno())
+    # simlint: allow[SIM601] rollback of a failed write is best-effort; the original OSError is re-raised by the caller
+    except OSError:
+        pass
+
+
+def append_record(path: Union[str, Path], kind: str,
+                  fault_key: Optional[str] = None,
+                  fault_attempt: int = 1, **fields: Any) -> None:
     """Durably append one record; crash-safe at every byte.
 
     Callers serialise concurrent appenders themselves (the fleet holds
     ``fleet.lock`` across its read-decide-append transactions); this
     function only guarantees the append itself is atomic-on-crash.
+
+    Fails *clean* on a full disk: any ``OSError`` mid-append truncates
+    the WAL back to its pre-append size before re-raising, so no torn
+    entry survives to corrupt the next writer's line.  ``fault_key``
+    opts the append into the deterministic ``disk-full`` chaos schedule
+    (one-shot: only ``fault_attempt == 1`` consults it), which tears the
+    write mid-line exactly the way a real ENOSPC would.
     """
     record: Dict[str, Any] = {"v": FLEET_WAL_VERSION, "kind": kind}
     record.update(fields)
@@ -40,10 +70,28 @@ def append_record(path: Union[str, Path], kind: str, **fields: Any) -> None:
     assert "\n" not in line  # one record is always exactly one line
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    with open(path, "a", encoding="utf-8") as handle:
-        handle.write(line + "\n")
-        handle.flush()
-        os.fsync(handle.fileno())
+    plan = active_plan()
+    torn = (fault_key is not None and fault_attempt == 1
+            and plan is not None
+            and plan.decide("disk-full", fault_key, 1))
+    try:
+        start = path.stat().st_size
+    except OSError:
+        start = 0
+    try:
+        with open(path, "a", encoding="utf-8") as handle:
+            if torn:
+                handle.write(line[: max(1, len(line) // 2)])
+                handle.flush()
+                raise OSError(
+                    errno.ENOSPC,
+                    f"injected disk-full (chaos) appending {fault_key}")
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+    except OSError:
+        _truncate_to(path, start)
+        raise
 
 
 def _parse_lines(lines: List[str]) -> Tuple[List[Dict[str, Any]], int]:

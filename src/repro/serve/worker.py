@@ -38,7 +38,9 @@ from repro.exec.faults import (
     KILL_WORKER_EXIT,
     FaultPlan,
     active_plan,
+    maybe_corrupt_store_entry,
     should_kill_worker,
+    should_poison,
 )
 from repro.exec.policy import FailedRun
 from repro.exec.store import ResultStore
@@ -47,6 +49,16 @@ from repro.serve.protocol import ProtocolError, spec_from_payload
 
 #: How long an idle worker sleeps between claim attempts, seconds.
 POLL_SECONDS = 0.05
+
+#: How long a drain-mode worker requires the queue to *stay* resolved
+#: before exiting, seconds.  A ``done`` record is a promise the server's
+#: watcher audits shortly after it lands; when the promised store entry
+#: is unreadable (torn by a crash or chaos) the audit requeues the spec.
+#: A worker that quit the instant the queue looked resolved could strand
+#: that requeue with no fleet left to serve it, so drain exits only
+#: after the resolution survives a settle window comfortably longer
+#: than the watcher tick.
+DRAIN_SETTLE_SECONDS = 0.5
 
 
 class _LeaseRenewer:
@@ -110,6 +122,18 @@ class Worker:
         if claim is None:
             return False
         self._maybe_die(claim)
+        if claim.deadline is not None and claim.deadline <= time.time():
+            # Deadline propagation, worker half: the submission's
+            # deadline passed between claim and here — nobody wants
+            # this result anymore, so don't burn a simulation on it.
+            print(
+                f"worker {self.worker_id}: deadline passed for "
+                f"{claim.spec_hash[:12]}…; resolving as expired",
+                file=sys.stderr,
+            )
+            self.fleet.mark_expired(claim.spec_hash, self.worker_id)
+            self.failed += 1
+            return True
         try:
             spec = spec_from_payload(claim.payload)
         except ProtocolError as exc:
@@ -135,8 +159,34 @@ class Worker:
             seconds = time.perf_counter() - start
             # Store first, then resolve: the ``done`` record promises the
             # result is re-readable (same write order as the sweep journal).
-            self.store.put(spec, result)
-            self.fleet.mark_done(claim.spec_hash, self.worker_id, seconds)
+            try:
+                self.store.put(spec, result,
+                               fault_attempt=claim.lease_count)
+                if claim.lease_count == 1:
+                    # One-shot torn-entry chaos: the server's watcher
+                    # finds the promised entry unreadable and requeues;
+                    # the reclaim (lease 2) never consults the schedule.
+                    maybe_corrupt_store_entry(
+                        self.plan, self.store.path_for(spec),
+                        claim.spec_hash, 1,
+                    )
+                self.fleet.mark_done(claim.spec_hash, self.worker_id,
+                                     seconds, lease_count=claim.lease_count)
+            except OSError as exc:
+                # A failed *write* (ENOSPC, a yanked filesystem): the
+                # store and WAL both fail clean, so nothing durable
+                # claims the result exists.  Release the lease now —
+                # the next claimant re-runs the spec without waiting
+                # out the TTL, and its writes skip the one-shot
+                # schedule.
+                print(
+                    f"worker {self.worker_id}: write failed for "
+                    f"{claim.spec_hash[:12]}… ({exc}); releasing lease "
+                    "for a clean re-run",
+                    file=sys.stderr,
+                )
+                self.fleet.release(claim.spec_hash, self.worker_id)
+                return True
         self.completed += 1
         return True
 
@@ -149,24 +199,33 @@ class Worker:
 
         ``drain=False`` serves forever (a long-lived fleet member).
         ``drain=True`` exits 0 once the queue has been seen non-empty
-        and is fully resolved with no live leases; ``idle_timeout``
-        bounds how long to wait for work to appear at all (exit 0 —
-        an empty fleet run is not an error).
+        and has stayed fully resolved (no pending work, no live leases)
+        for :data:`DRAIN_SETTLE_SECONDS`; ``idle_timeout`` bounds how
+        long to wait for work to appear at all (exit 0 — an empty fleet
+        run is not an error).
         """
         idle_since = time.monotonic()
         seen_work = False
+        drained_since: Optional[float] = None
         while True:
             if self.run_one():
                 seen_work = True
                 idle_since = time.monotonic()
+                drained_since = None
                 continue
             if drain:
                 snap = self.fleet.snapshot()
                 if snap.enqueued and snap.drained:
-                    return 0
-                if (not seen_work and idle_timeout is not None
-                        and time.monotonic() - idle_since > idle_timeout):
-                    return 0
+                    now = time.monotonic()
+                    if drained_since is None:
+                        drained_since = now
+                    if now - drained_since >= DRAIN_SETTLE_SECONDS:
+                        return 0
+                else:
+                    drained_since = None
+                    if (not seen_work and idle_timeout is not None
+                            and time.monotonic() - idle_since > idle_timeout):
+                        return 0
             time.sleep(self.poll)
 
     # -- internals ------------------------------------------------------------
@@ -174,9 +233,21 @@ class Worker:
     def _maybe_die(self, claim: Claim) -> None:
         """Chaos mode: die like an OOM-killed worker, lease left live.
 
-        Fires only on the spec's first lease — see the module
-        docstring for why that makes chaos fleets converge.
+        Two schedules, opposite shapes.  ``poison`` fires on **every**
+        lease of a matching spec — the deterministic crash loop only
+        the quarantine bound can stop.  ``kill-worker`` fires only on a
+        spec's first lease — see the module docstring for why that
+        makes plain chaos fleets converge.
         """
+        if should_poison(self.plan, claim.spec_hash):
+            print(
+                f"faults: poison spec {claim.spec_hash[:12]}… killed "
+                f"{self.worker_id} (lease {claim.lease_count}; every "
+                "lease dies until quarantine)",
+                file=sys.stderr,
+            )
+            sys.stderr.flush()
+            os._exit(KILL_WORKER_EXIT)
         if claim.lease_count != 1:
             return
         if not should_kill_worker(self.plan, claim.spec_hash):

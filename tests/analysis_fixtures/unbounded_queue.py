@@ -1,0 +1,26 @@
+"""Known-bad: unbounded buffers in the sweep service.
+
+A service buffer without a stated bound converts overload into silent
+memory growth — clients keep submitting, the queue keeps absorbing, and
+the process dies of RSS long after the latency already went bad.  That
+is precisely the failure admission control exists to prevent, so SIM605
+requires every ``Queue`` to state a ``maxsize`` and every ``deque`` a
+``maxlen`` (or to justify, via ``allow[SIM605]``, why its growth is
+capped somewhere else).  The bounded forms below are clean.
+"""
+
+import asyncio
+import collections
+import queue
+
+
+def build_buffers():
+    outbox = asyncio.Queue()                   # bad: no maxsize
+    backlog = collections.deque()              # bad: no maxlen
+    handoff = queue.Queue()                    # bad: no maxsize
+    retries = queue.LifoQueue()                # bad: no maxsize
+    bounded_outbox = asyncio.Queue(maxsize=64)     # ok: stated bound
+    window = collections.deque(maxlen=128)         # ok: stated bound
+    bounded_handoff = queue.Queue(64)              # ok: positional bound
+    return (outbox, backlog, handoff, retries,
+            bounded_outbox, window, bounded_handoff)

@@ -45,6 +45,7 @@ FIXTURE_RULES = {
     "swallowed_exception.py": "SIM601",
     "trapped_interrupt.py": "SIM602",
     "blocking_async.py": "SIM604",
+    "unbounded_queue.py": "SIM605",
     "unhoisted_chain.py": "SIM701",
     "loop_allocation.py": "SIM702",
     "per_iteration_frame.py": "SIM703",
