@@ -33,7 +33,11 @@ bit-identical to an uninterrupted run.  SIGINT/SIGTERM shut down
 gracefully (drain in-flight work, flush the journal, exit ``130``/
 ``143`` with a resume pointer; a second signal terminates immediately).
 ``--retry-failed`` re-runs specs a resumed journal recorded as
-exhausted.  ``python -m repro.exec fsck`` verifies store integrity.
+exhausted.  ``--checkpoint-every N`` additionally cuts crash-safe
+*mid-run* snapshots so a killed attempt resumes mid-simulation instead
+of from instruction zero (:mod:`repro.exec.checkpoint`); restore is
+bit-identical to an uninterrupted run.  ``python -m repro.exec fsck``
+verifies store (and checkpoint) integrity.
 """
 
 from __future__ import annotations
@@ -167,10 +171,14 @@ def _build_executor(args) -> Executor:
     # cached run is also resumable.  --no-cache has nowhere to journal
     # (and nothing a resume could serve results from).
     journal_dir = store.journal_dir if store is not None else None
+    if args.checkpoint_every and store is None:
+        print("--checkpoint-every needs the result store (drop --no-cache): "
+              "snapshots live under <cache-dir>/ckpt", file=sys.stderr)
     return Executor(
         jobs=args.jobs, store=store, policy=policy,
         journal_dir=journal_dir, resume=args.resume,
         retry_failed=args.retry_failed, shutdown=SHUTDOWN,
+        checkpoint_every=args.checkpoint_every if store is not None else 0,
     )
 
 
@@ -204,7 +212,8 @@ def _append_ledger_entry(command: str, executor: Executor) -> None:
     }
     # Hardening counters appear only when nonzero, so a clean run's
     # ledger record stays byte-identical to what it always was.
-    for key in ("shed", "quarantined", "expired"):
+    for key in ("shed", "quarantined", "expired",
+                "checkpoints", "resumed_from_ckpt"):
         value = float(getattr(telemetry, key, 0))
         if value:
             metrics[key] = value
@@ -330,6 +339,14 @@ def main(argv=None) -> int:
                              "seconds; specs the fleet cannot start in "
                              "time come back as annotated timeout holes "
                              "instead of waiting forever")
+    parser.add_argument("--checkpoint-every", type=int, default=0, metavar="N",
+                        help="cut a crash-safe mid-run snapshot every N "
+                             "committed instructions (default 0 = off, "
+                             "zero cost); a killed attempt resumes from "
+                             "the newest snapshot and finishes "
+                             "bit-identical to an uninterrupted run "
+                             "(snapshots live under <cache-dir>/ckpt, "
+                             "audited by 'python -m repro.exec fsck')")
     parser.add_argument("--trace", metavar="OUT.json", default=None,
                         help="record a Chrome trace_event timeline of the "
                              "run to OUT.json (forces --jobs 1 --no-cache)")

@@ -82,12 +82,20 @@ def run_trace(
     mechanism_name: Optional[str] = None,
     warmup_fraction: float = WARMUP_FRACTION,
     fast: bool = True,
+    checkpoint=None,
 ) -> RunResult:
     """Run an explicit trace on a fresh machine; return a :class:`RunResult`.
 
     ``fast=False`` disables the trace-speculation fast path
     (:mod:`repro.cpu.fastpath`); results are bit-identical either way —
     the knob exists so that equivalence stays testable.
+
+    ``checkpoint`` is an optional mid-run checkpointer (see
+    :class:`repro.exec.checkpoint.Checkpointer`), forwarded to
+    :meth:`OoOCore.run <repro.cpu.ooo.OoOCore.run>`.  It never enters a
+    run's identity: a resumed run's result is bit-identical to an
+    uninterrupted one, so the content-addressed store cannot tell them
+    apart (and must not).
     """
     name = mechanism_name or _name_of(mechanism)
     tracing = TRACER.enabled
@@ -99,7 +107,8 @@ def run_trace(
     sampler = maybe_sampler(hierarchy, len(trace),
                             benchmark=benchmark, mechanism=name)
     stats: CoreStats = core.run(trace, measure_from=measure_from,
-                                sampler=sampler, fast=fast)
+                                sampler=sampler, fast=fast,
+                                checkpoint=checkpoint)
     hierarchy.finalize_stats()
     hierarchy.sanitize_verify()  # no-op unless REPRO_SANITIZE=1
     result = _collect(benchmark, name, stats, hierarchy)

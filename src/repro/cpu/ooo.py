@@ -99,7 +99,7 @@ class OoOCore(Component):
         }
 
     def run(self, trace: Sequence, measure_from: int = 0,
-            sampler=None, fast: bool = True) -> CoreStats:
+            sampler=None, fast: bool = True, checkpoint=None) -> CoreStats:
         """Simulate ``trace`` to completion; return the run's statistics.
 
         ``measure_from`` marks the end of the warm-up window: IPC is
@@ -119,18 +119,41 @@ class OoOCore(Component):
         ordinary hierarchy calls.  Results are bit-identical either way;
         the knob exists so the equivalence is *testable* (and spec-hashed,
         see :class:`repro.exec.RunSpec`).
+
+        ``checkpoint`` is an optional duck-typed checkpointer (``.every``,
+        ``.cut(index, state)``, ``.load()``; see
+        :class:`repro.exec.checkpoint.Checkpointer`): a mid-run snapshot is
+        cut every ``every`` committed records, and a prior snapshot, if one
+        loads, resumes this run from its record index.  Restore-then-finish
+        is bit-identical to an uninterrupted run; when no checkpointer is
+        attached the loops are exactly today's code (the fast path's emitted
+        source is unchanged, so the disabled path provably costs nothing).
         """
         tracing = TRACER.enabled
         if tracing:
             TRACER.begin("cpu.run", cat="cpu")
+        resume = checkpoint.load() if checkpoint is not None else None
+        saved_loop = None
+        if resume is not None:
+            _, saved = resume
+            # Restore the whole machine *before* compiling the fast path so
+            # its emitted guards bind the restored (in-place) containers.
+            self.hierarchy.restore(saved["hierarchy"])
+            for fu_name, fu_state in saved["core"]["fu"].items():
+                self.fu[fu_name].restore(fu_state)
+            saved_loop = tuple(saved["loop"])
         if fast:
             speculator = TraceSpeculator(self.hierarchy)
             self.speculation = speculator
-            loop = self._compile_fast_loop(speculator, sampler)
+            if resume is not None and saved["core"]["spec_counts"] is not None:
+                speculator.counts[:] = saved["core"]["spec_counts"]
+            loop = self._compile_fast_loop(speculator, sampler,
+                                           checkpoint, saved_loop)
             outcome = loop(trace, measure_from)
         else:
             self.speculation = None
-            outcome = self._slow_loop(trace, measure_from, sampler)
+            outcome = self._slow_loop(trace, measure_from, sampler,
+                                      checkpoint, saved_loop)
         (index, commit_cycle, warmup_end_cycle, n_loads, n_stores,
          n_branches, n_mispredicts, load_latency_total) = outcome
 
@@ -153,16 +176,25 @@ class OoOCore(Component):
         return stats
 
     @hotpath
-    def _slow_loop(self, trace: Sequence, measure_from: int, sampler):
+    def _slow_loop(self, trace: Sequence, measure_from: int, sampler,
+                   checkpoint=None, resume=None):
         """The reference pipeline walk, interpreted, no speculation.
 
         This is the loop the generated fast path must be indistinguishable
         from: every access goes the long way through the hierarchy.  The
         golden-fingerprint tests diff the two record by record (via their
         stats), which is why this stays plain, readable Python.
+
+        ``checkpoint``/``resume`` mirror the fast path's mid-run snapshot
+        support: a disabled checkpointer costs one integer comparison per
+        record (the same discipline as the sampler's ``_NO_SAMPLE``
+        sentinel), and ``resume`` is the loop-state tuple a prior cut saved.
         """
         sample_every = sampler.interval if sampler is not None else 0
         next_sample = sample_every if sample_every else _NO_SAMPLE
+        ckpt_every = checkpoint.every if checkpoint is not None else 0
+        next_ckpt = ckpt_every if ckpt_every else _NO_SAMPLE
+        ckpt_cut = self._checkpoint_cut(checkpoint, None) if ckpt_every else None
         cfg = self.config
         hierarchy = self.hierarchy
         load_op = int(Op.LOAD)
@@ -207,6 +239,21 @@ class OoOCore(Component):
         ruu_popleft = ruu.popleft
         lsq_append = lsq.append
         lsq_popleft = lsq.popleft
+
+        if resume is not None:
+            (fetch_cycle, fetch_slots, squash_until, last_fetch_block,
+             ruu_init, lsq_init, ruu_len, lsq_len, commit_cycle, commit_slots,
+             ring_init, ring_pos, n_loads, n_stores, n_branches,
+             n_mispredicts, load_latency_total, warmup_end_cycle,
+             index) = resume
+            ruu.extend(ruu_init)
+            lsq.extend(lsq_init)
+            ring[:] = ring_init
+            trace = trace[index:]
+            if sample_every:
+                next_sample = ((index // sample_every) + 1) * sample_every
+            if ckpt_every:
+                next_ckpt = ((index // ckpt_every) + 1) * ckpt_every
 
         for record in trace:
             if index == measure_from:
@@ -319,9 +366,43 @@ class OoOCore(Component):
             if index >= next_sample:
                 sampler.sample(index, commit_cycle)
                 next_sample += sample_every
+            if index >= next_ckpt:
+                # simlint: allow[SIM702] guarded by next_ckpt: allocates once per checkpoint interval, never per record
+                ckpt_cut((fetch_cycle, fetch_slots, squash_until,
+                          last_fetch_block, list(ruu), list(lsq), ruu_len,
+                          lsq_len, commit_cycle, commit_slots, list(ring),
+                          ring_pos, n_loads, n_stores, n_branches,
+                          n_mispredicts, load_latency_total,
+                          warmup_end_cycle, index))
+                next_ckpt += ckpt_every
 
         return (index, commit_cycle, warmup_end_cycle, n_loads, n_stores,
                 n_branches, n_mispredicts, load_latency_total)
+
+    def _checkpoint_cut(self, checkpoint, speculator):
+        """Bind a one-call snapshot closure for the pipeline loops.
+
+        The loop hands over its entire local state as one tuple (record
+        index last); everything else stateful — the hierarchy, the FU
+        ledgers, the speculator's guard counters — is snapshotted here, so
+        a cut is a single call on the loop's cold path.
+        """
+        hierarchy = self.hierarchy
+        fu = self.fu
+
+        def cut(loop_state):
+            checkpoint.cut(loop_state[-1], {
+                "hierarchy": hierarchy.snapshot(),
+                "core": {
+                    "fu": {name: pool.snapshot()
+                           for name, pool in fu.items()},
+                    "spec_counts": (list(speculator.counts)
+                                    if speculator is not None else None),
+                },
+                "loop": loop_state,
+            })
+
+        return cut
 
     def _dispatch_tables(self):
         """Dense per-op latency and FU-pool tables (list index beats dict)."""
@@ -334,7 +415,8 @@ class OoOCore(Component):
             fu_of[int(op)] = self.fu[pool]
         return latency, fu_of
 
-    def _compile_fast_loop(self, speculator: TraceSpeculator, sampler):
+    def _compile_fast_loop(self, speculator: TraceSpeculator, sampler,
+                           checkpoint=None, resume=None):
         """Compile the generated pipeline walk for this core.
 
         Emission (:meth:`_emit_fast_loop`) and compilation are split so the
@@ -343,7 +425,12 @@ class OoOCore(Component):
         cached by source + emitter version (the only variation is baked
         constants), so repeated runs of one machine shape recompile nothing.
         """
-        source, bind = self._emit_fast_loop(speculator.counts, sampler)
+        ckpt_every = checkpoint.every if checkpoint is not None else 0
+        ckpt_cut = (self._checkpoint_cut(checkpoint, speculator)
+                    if ckpt_every else None)
+        source, bind = self._emit_fast_loop(
+            speculator.counts, sampler,
+            ckpt_cut=ckpt_cut, ckpt_every=ckpt_every, resume=resume)
         code = codecache.load_or_compile(
             source, "<repro.cpu.ooo.fastloop>", version=EMITTER_VERSION
         )
@@ -351,7 +438,8 @@ class OoOCore(Component):
         exec(code, namespace)  # noqa: S102 - closed namespace, own source
         return namespace["run_loop"]
 
-    def _emit_fast_loop(self, counts, sampler):
+    def _emit_fast_loop(self, counts, sampler,
+                        ckpt_cut=None, ckpt_every=0, resume=None):
         """Generate the pipeline walk as one straight-line function.
 
         Returns ``(source, bind)``: the full ``def run_loop(...)`` source
@@ -368,6 +456,13 @@ class OoOCore(Component):
           hierarchy call as each block's ``None`` fallback;
         * when no sampler is attached the sampling check is omitted rather
           than guarded.
+
+        Checkpointing follows the same discipline as sampling: the cut
+        check, the resume preamble and their bindings are emitted only when
+        a checkpointer is armed, so the disabled path's source is
+        byte-identical to today's — same codecache entry, zero cost.
+        ``resume`` is the saved loop-state tuple; its record index is known
+        at emit time, so the resumed thresholds are baked as literals.
 
         Everything else — hierarchy calls, FU ledgers, stat objects — is
         bound through the exec namespace, localized once in the preamble.
@@ -406,37 +501,70 @@ class OoOCore(Component):
         sampling = sampler is not None and sampler.interval
         if sampling:
             bind["sampler_sample"] = sampler.sample
+        checkpointing = bool(ckpt_every)
+        if checkpointing:
+            bind["ckpt_cut"] = ckpt_cut
+        if resume is not None:
+            bind["resume_state"] = resume
 
         lines = ["def run_loop(trace, measure_from):"]
         # Preamble: rebind every namespace object to a local once.
         lines += [f"    {name} = g_{name}" for name in bind]
-        lines += [
-            "    ruu = deque()",
-            "    lsq = deque()",
-            "    ruu_append = ruu.append",
-            "    ruu_popleft = ruu.popleft",
-            "    lsq_append = lsq.append",
-            "    lsq_popleft = lsq.popleft",
-            f"    ring = [0] * {_RING}",
-            "    ring_pos = 0",
-            "    fetch_cycle = 0",
-            "    fetch_slots = 0",
-            "    squash_until = 0",
-            "    last_fetch_block = -1",
-            "    commit_cycle = 0",
-            "    commit_slots = 0",
-            "    ruu_len = 0",
-            "    lsq_len = 0",
-            "    n_loads = 0",
-            "    n_stores = 0",
-            "    n_branches = 0",
-            "    n_mispredicts = 0",
-            "    load_latency_total = 0",
-            "    warmup_end_cycle = 0",
-            "    index = 0",
-        ]
-        if sampling:
-            lines.append(f"    next_sample = {sampler.interval}")
+        if resume is None:
+            lines += [
+                "    ruu = deque()",
+                "    lsq = deque()",
+                "    ruu_append = ruu.append",
+                "    ruu_popleft = ruu.popleft",
+                "    lsq_append = lsq.append",
+                "    lsq_popleft = lsq.popleft",
+                f"    ring = [0] * {_RING}",
+                "    ring_pos = 0",
+                "    fetch_cycle = 0",
+                "    fetch_slots = 0",
+                "    squash_until = 0",
+                "    last_fetch_block = -1",
+                "    commit_cycle = 0",
+                "    commit_slots = 0",
+                "    ruu_len = 0",
+                "    lsq_len = 0",
+                "    n_loads = 0",
+                "    n_stores = 0",
+                "    n_branches = 0",
+                "    n_mispredicts = 0",
+                "    load_latency_total = 0",
+                "    warmup_end_cycle = 0",
+                "    index = 0",
+            ]
+            if sampling:
+                lines.append(f"    next_sample = {sampler.interval}")
+            if checkpointing:
+                lines.append(f"    next_ckpt = {ckpt_every}")
+        else:
+            index0 = resume[-1]
+            lines += [
+                "    (fetch_cycle, fetch_slots, squash_until,",
+                "     last_fetch_block, ruu_init, lsq_init, ruu_len,",
+                "     lsq_len, commit_cycle, commit_slots, ring_init,",
+                "     ring_pos, n_loads, n_stores, n_branches,",
+                "     n_mispredicts, load_latency_total, warmup_end_cycle,",
+                "     index) = resume_state",
+                "    ruu = deque(ruu_init)",
+                "    lsq = deque(lsq_init)",
+                "    ring = list(ring_init)",
+                "    ruu_append = ruu.append",
+                "    ruu_popleft = ruu.popleft",
+                "    lsq_append = lsq.append",
+                "    lsq_popleft = lsq.popleft",
+                "    trace = trace[index:]",
+            ]
+            if sampling:
+                interval = sampler.interval
+                lines.append(
+                    f"    next_sample = {((index0 // interval) + 1) * interval}")
+            if checkpointing:
+                lines.append(
+                    f"    next_ckpt = {((index0 // ckpt_every) + 1) * ckpt_every}")
         lines += [
             "    for record in trace:",
             "        if index == measure_from:",
@@ -538,6 +666,19 @@ class OoOCore(Component):
                 "        if index >= next_sample:",
                 "            sampler_sample(index, commit_cycle)",
                 f"            next_sample += {sampler.interval}",
+            ]
+        if checkpointing:
+            lines += [
+                "        if index >= next_ckpt:",
+                "            ckpt_cut((fetch_cycle, fetch_slots,",
+                "                      squash_until, last_fetch_block,",
+                "                      list(ruu), list(lsq), ruu_len,",
+                "                      lsq_len, commit_cycle, commit_slots,",
+                "                      list(ring), ring_pos, n_loads,",
+                "                      n_stores, n_branches, n_mispredicts,",
+                "                      load_latency_total,",
+                "                      warmup_end_cycle, index))",
+                f"            next_ckpt += {ckpt_every}",
             ]
         lines += [
             "    return (index, commit_cycle, warmup_end_cycle, n_loads,",

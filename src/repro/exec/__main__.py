@@ -34,6 +34,16 @@ as a defect.  ``--prune`` absolves it (a ``done`` record supersedes the
 quarantine, a lease ``reset`` retires its crash-loop pedigree) so the
 next submission reads the result instead of replaying the hole.
 
+When mid-run checkpointing has run against this cache
+(``<cache>/ckpt/`` exists), ``fsck`` audits every snapshot: header
+parse, format version, spec-hash cross-check against the directory it
+lives in, payload length and SHA-256, plus stale temps stranded by
+killed writers.  A defective checkpoint is never *served* — the loader
+skips it and falls back to the next-older sound snapshot — so these are
+disk-hygiene defects, not correctness ones; ``--prune`` removes them
+along with superseded snapshots (anything older than the newest sound
+one per spec).
+
 Every invocation appends its report as one ``fsck`` record to
 ``<journal-dir>/fsck.jsonl`` — the same append-only, fsync'd discipline
 as the sweep journals — so repairs are themselves journaled.  Exit
@@ -99,6 +109,42 @@ def _audit_fleet(store: ResultStore, prune: bool) -> int:
     return defects
 
 
+def _audit_ckpts(store: ResultStore, prune: bool) -> dict:
+    """Audit the mid-run checkpoint tree (``<cache>/ckpt/``).
+
+    Checkpoints are a cache, not an artifact: a defective one is never
+    *served* (the loader skips it and falls back to the next-older
+    snapshot), so the audit exists to reclaim disk and to surface torn
+    writes early.  ``--prune`` removes defective files, superseded
+    snapshots (anything older than the newest sound one per spec) and
+    stale temps, then drops emptied spec directories.
+    """
+    from repro.exec.checkpoint import audit_checkpoints
+
+    audit = audit_checkpoints(store.ckpt_root, prune=prune)
+    if audit.scanned or audit.stale_temps:
+        line = (f"  checkpoints: {audit.scanned} scanned, {audit.ok} sound, "
+                f"{len(audit.defective)} defective, "
+                f"{len(audit.superseded)} superseded")
+        if audit.stale_temps:
+            line += f", {len(audit.stale_temps)} stale temp(s)"
+        if prune:
+            line += f"; pruned {len(audit.pruned)}"
+        print(line)
+        for rel, why in audit.defective:
+            print(f"  checkpoint {rel}: {why}"
+                  + ("" if prune else " (re-run with --prune to remove)"))
+    return {
+        "scanned": audit.scanned,
+        "ok": audit.ok,
+        "defective": [list(pair) for pair in audit.defective],
+        "superseded": audit.superseded,
+        "stale_temps": audit.stale_temps,
+        "pruned": audit.pruned,
+        "clean": audit.clean,
+    }
+
+
 def _cmd_fsck(args: argparse.Namespace) -> int:
     store = ResultStore(args.cache_dir)  # None -> default cache dir
     report = store.fsck(prune=args.prune, migrate=args.migrate)
@@ -122,6 +168,7 @@ def _cmd_fsck(args: argparse.Namespace) -> int:
                 print(f"  journal {path.name}: prune failed: {exc}")
 
     fleet_defects = _audit_fleet(store, args.prune)
+    ckpt_report = _audit_ckpts(store, args.prune)
 
     # The repair is itself journaled: one fsck record, same append-only
     # fsync'd discipline as the sweep journals it lives beside.
@@ -129,6 +176,7 @@ def _cmd_fsck(args: argparse.Namespace) -> int:
     payload = report.describe()
     payload["pruned_journals"] = pruned_journals
     payload["fleet_defects"] = fleet_defects
+    payload["checkpoints"] = ckpt_report
     fsck_log.append("fsck", report=payload)
 
     if report.problems and not args.prune:
@@ -138,7 +186,10 @@ def _cmd_fsck(args: argparse.Namespace) -> int:
         return 1
     unpruned = [name for name, _why in report.problems
                 if name not in report.pruned]
-    return 1 if unpruned or fleet_defects else 0
+    # A pruned checkpoint defect is repaired, same as a pruned store
+    # entry; without --prune it keeps the exit status honest.
+    ckpt_defects = not ckpt_report["clean"] and not args.prune
+    return 1 if unpruned or fleet_defects or ckpt_defects else 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:

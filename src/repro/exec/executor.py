@@ -79,6 +79,7 @@ from typing import (
 from repro.core.config import MachineConfig, baseline_config
 from repro.core.results import ResultSet
 from repro.core.simulation import DEFAULT_INSTRUCTIONS, RunResult
+from repro.exec.checkpoint import Checkpointer, discard_checkpoints
 from repro.exec.faults import (
     KILL_ORCHESTRATOR_EXIT,
     FaultPlan,
@@ -124,8 +125,9 @@ ProgressFn = Callable[[int, int, RunSpec], None]
 #: One resolved batch entry: a result, or the hole a failed spec left.
 Resolved = Union[RunResult, FailedRun]
 
-#: What the worker entry point returns per attempt.
-_WorkerReturn = Tuple[str, RunResult, float]
+#: What the worker entry point returns per attempt; the final element is
+#: ``(checkpoints cut, resumed-from-checkpoint)`` for the telemetry.
+_WorkerReturn = Tuple[str, RunResult, float, Tuple[int, int]]
 
 #: (spec, attempt number) waiting to run.
 _QueueItem = Tuple[RunSpec, int]
@@ -136,23 +138,43 @@ def _execute_timed(
     attempt: int = 1,
     plan: Optional[FaultPlan] = None,
     in_process: bool = True,
+    checkpoint_every: int = 0,
+    ckpt_root: Optional[str] = None,
 ) -> _WorkerReturn:
     """Worker entry point: run one spec attempt, report its wall time.
 
     Fault injection (when ``plan`` is armed) happens *before* the traced
     region so a crashing attempt never leaves an unbalanced span.
+
+    When checkpointing is on, later attempts of the same spec resume
+    from the newest sound mid-run snapshot under ``ckpt_root``.  The
+    ``kill-midrun`` chaos kind always takes the survivable
+    :class:`~repro.exec.faults.InjectedCrash` flavour here: a pool
+    worker's ``os._exit`` would break the whole pool, and the executor
+    requeues broken-pool casualties *without* charging an attempt — the
+    one-shot (spec, attempt 1) schedule would fire forever.  The raise
+    is charged, so the retry carries attempt 2, skips the schedule and
+    converges.  Real ``os._exit`` kills are exercised by the fleet
+    workers (:mod:`repro.serve.worker`), whose lease counts do advance.
     """
     inject_attempt_faults(plan, spec.content_hash, attempt, in_process)
+    ckpt = None
+    if checkpoint_every and ckpt_root is not None:
+        ckpt = Checkpointer(
+            Path(ckpt_root), spec.content_hash, checkpoint_every,
+            attempt=attempt, plan=plan, kill_exit=None,
+        )
     tracing = TRACER.enabled
     if tracing:
         TRACER.begin("exec.simulate", cat="exec",
                      benchmark=spec.benchmark, mechanism=spec.mechanism)
     start = time.perf_counter()
-    result = spec.execute()
+    result = spec.execute(checkpoint=ckpt)
     seconds = time.perf_counter() - start
     if tracing:
         TRACER.end(seconds=round(seconds, 6))
-    return spec.content_hash, result, seconds
+    ckpt_counts = (ckpt.cuts, ckpt.resumed) if ckpt is not None else (0, 0)
+    return spec.content_hash, result, seconds, ckpt_counts
 
 
 def _terminate_pool(pool: ProcessPoolExecutor) -> None:
@@ -201,6 +223,7 @@ class Executor:
         resume: bool = False,
         retry_failed: bool = False,
         shutdown: Optional[ShutdownManager] = None,
+        checkpoint_every: int = 0,
     ) -> None:
         self.jobs = max(1, jobs if jobs is not None else (os.cpu_count() or 1))
         self.store = store
@@ -221,6 +244,14 @@ class Executor:
         #: Consulted between waves; the never-installed process singleton
         #: is inert, so library use pays nothing.
         self.shutdown = shutdown if shutdown is not None else SHUTDOWN
+        #: Cut a durable mid-run snapshot every N trace records (0 = off,
+        #: the default: the disabled path adds nothing to the record
+        #: loop).  Checkpoints live under the store's ``ckpt/`` tree, so
+        #: checkpointing requires a configured store.
+        self.checkpoint_every = max(0, int(checkpoint_every))
+        self._ckpt_root = (store.ckpt_root
+                           if store is not None and self.checkpoint_every
+                           else None)
         self._memo: Dict[str, Resolved] = {}
         self._sweep_memo: Dict[Tuple[str, ...], ResultSet] = {}
         #: monotonic() at each spec's first attempt (for FailedRun.elapsed).
@@ -429,10 +460,11 @@ class Executor:
             for future in finished:
                 spec, _attempt, _deadline = pending.pop(future)
                 try:
-                    key, result, seconds = future.result()
+                    key, result, seconds, ckpt_counts = future.result()
                 # simlint: allow[SIM601] shutting down: the resumed run re-dispatches and accounts this attempt
                 except BaseException:
                     continue
+                self._count_checkpoints(ckpt_counts)
                 self._absorb(spec, key, result, seconds, 0, 0)
         _terminate_pool(pool)
         self._interrupt(signum)
@@ -470,8 +502,10 @@ class Executor:
             if self._journal is not None:
                 self._journal.dispatched(spec.content_hash, attempt)
             try:
-                key, result, seconds = _execute_timed(
-                    spec, attempt, self.faults, in_process=True
+                key, result, seconds, ckpt_counts = _execute_timed(
+                    spec, attempt, self.faults, in_process=True,
+                    checkpoint_every=self.checkpoint_every,
+                    ckpt_root=self._ckpt_str(),
                 )
             except (KeyboardInterrupt, SystemExit):
                 raise
@@ -487,6 +521,7 @@ class Executor:
                     queue.append((spec, attempt + 1))
                 continue
             done += 1
+            self._count_checkpoints(ckpt_counts)
             self._absorb(spec, key, result, seconds, done, total)
             self._maybe_kill_orchestrator(key)
         return done
@@ -536,7 +571,8 @@ class Executor:
                         self._journal.dispatched(spec.content_hash, attempt)
                     try:
                         future = pool.submit(
-                            _execute_timed, spec, attempt, self.faults, False
+                            _execute_timed, spec, attempt, self.faults, False,
+                            self.checkpoint_every, self._ckpt_str(),
                         )
                     except BrokenProcessPool:
                         queue.appendleft((spec, attempt))
@@ -551,7 +587,7 @@ class Executor:
                     for future in finished:
                         spec, attempt, _deadline = pending.pop(future)
                         try:
-                            key, result, seconds = future.result()
+                            key, result, seconds, ckpt_counts = future.result()
                         except BrokenProcessPool:
                             # In flight when the pool died: requeue, no charge.
                             queue.appendleft((spec, attempt))
@@ -568,6 +604,7 @@ class Executor:
                             continue
                         done += 1
                         rebuilds = 0
+                        self._count_checkpoints(ckpt_counts)
                         self._absorb(spec, key, result, seconds, done, total)
                         self._maybe_kill_orchestrator(key, pool)
                     # Watchdog: charge and requeue attempts past deadline,
@@ -714,6 +751,14 @@ class Executor:
         if self.progress is not None:
             self.progress(done, total, spec)
 
+    def _ckpt_str(self) -> Optional[str]:
+        """The checkpoint root as a plain string (picklable submit arg)."""
+        return str(self._ckpt_root) if self._ckpt_root is not None else None
+
+    def _count_checkpoints(self, counts: Tuple[int, int]) -> None:
+        self.telemetry.checkpoints += counts[0]
+        self.telemetry.resumed_from_ckpt += counts[1]
+
     def _absorb(
         self,
         spec: RunSpec,
@@ -730,6 +775,10 @@ class Executor:
             # Chaos mode: a "torn write" lands now, is discovered (and
             # counted) by whoever reads the entry next.
             maybe_corrupt_store_entry(self.faults, path, key, 1)
+            if self._ckpt_root is not None:
+                # The result is durable; the spec's mid-run snapshots are
+                # now pure disk waste.
+                discard_checkpoints(self._ckpt_root / key)
         self._record(spec, SOURCE_SIMULATED, seconds)
         # Journal *after* the store write: a ``done`` record promises the
         # result is re-readable, so the promise must land last.

@@ -50,6 +50,20 @@ Fault kinds (grammar: comma-separated ``kind:rate`` pairs plus ``seed=N``):
   fleet's release-and-reclaim path.  Fleet-side only, and consulted
   only on a spec's *first* lease — the retry after reclaim always
   writes through, so a chaos fleet provably converges.
+* ``kill-midrun`` — the executing process ``os._exit``\\ s (or, in
+  process, raises :class:`InjectedCrash`) from *inside the record
+  loop*, immediately after a mid-run checkpoint lands on disk;
+  exercises the resume-from-checkpoint path in
+  :mod:`repro.exec.checkpoint`.  Decided per spec on the first attempt
+  only — the retry never consults the schedule, resumes from the cut
+  that just landed and runs to completion, so a chaos run provably
+  converges.
+* ``corrupt-checkpoint`` — the just-written checkpoint file's tail is
+  torn (as a crash mid-``write`` that slipped past the atomic-rename
+  discipline would leave it); exercises the checksum verification and
+  the fall-back-to-next-older-snapshot path.  Decided per (spec,
+  record index) on the first attempt, so one schedule can tear some
+  cuts of a run and spare others.
 * ``poison:HASH_PREFIX`` — not a rate but a spec selector: every
   fleet worker that leases a spec whose content hash starts with the
   prefix dies with ``os._exit(76)``, on *every* lease.  This is the
@@ -85,7 +99,7 @@ FAULTS_ENV = "REPRO_FAULTS"
 #: a rated kind (see :attr:`FaultPlan.poison`).
 FAULT_KINDS = ("die", "hang", "crash", "corrupt-store",
                "kill-orchestrator", "corrupt-journal", "kill-worker",
-               "disk-full")
+               "disk-full", "kill-midrun", "corrupt-checkpoint")
 
 #: Exit code of an injected orchestrator kill (EX_TEMPFAIL: rerunnable,
 #: distinct from the watchdog's 70 and the signal exits 130/143).
@@ -129,6 +143,8 @@ class FaultPlan:
     corrupt_journal: float = 0.0
     kill_worker: float = 0.0
     disk_full: float = 0.0
+    kill_midrun: float = 0.0
+    corrupt_checkpoint: float = 0.0
     #: Content-hash prefix naming the poison specs ("" = none): every
     #: fleet worker leasing a matching spec dies, on every lease.
     poison: str = ""
@@ -152,6 +168,8 @@ class FaultPlan:
             "corrupt-journal": self.corrupt_journal,
             "kill-worker": self.kill_worker,
             "disk-full": self.disk_full,
+            "kill-midrun": self.kill_midrun,
+            "corrupt-checkpoint": self.corrupt_checkpoint,
         }[kind]
 
     def decide(self, kind: str, spec_hash: str, attempt: int) -> bool:
@@ -241,6 +259,8 @@ def parse_fault_spec(text: str) -> Optional[FaultPlan]:
         corrupt_journal=rates["corrupt-journal"],
         kill_worker=rates["kill-worker"],
         disk_full=rates["disk-full"],
+        kill_midrun=rates["kill-midrun"],
+        corrupt_checkpoint=rates["corrupt-checkpoint"],
         poison=poison,
         seed=seed,
     )
@@ -364,6 +384,55 @@ def should_poison(plan: Optional[FaultPlan], spec_hash: str) -> bool:
     if plan is None or not plan.poison:
         return False
     return spec_hash.startswith(plan.poison)
+
+
+def should_kill_midrun(
+    plan: Optional[FaultPlan], spec_hash: str,
+) -> bool:
+    """Whether the simulating process dies after a checkpoint cut lands.
+
+    Only the *decision* lives here; the
+    :class:`~repro.exec.checkpoint.Checkpointer` performs the exit (or
+    raises :class:`InjectedCrash` in-process) from inside the record
+    loop, *after* the cut's atomic rename — so resume always has a
+    snapshot to start from.  Keyed on (spec, attempt 1): the caller
+    consults the schedule only on a spec's first attempt, the retry
+    resumes and runs to completion, and a chaos run provably converges —
+    the same one-shot shape as ``kill-orchestrator``.
+    """
+    if plan is None:
+        return False
+    return plan.decide("kill-midrun", spec_hash, 1)
+
+
+def maybe_corrupt_checkpoint(
+    plan: Optional[FaultPlan], path: Path, spec_hash: str,
+    record_index: int, attempt: int = 1,
+) -> bool:
+    """Tear a just-written checkpoint's tail when the schedule says so.
+
+    Truncates the file to roughly two thirds of its length — the shape a
+    dying disk leaves behind when a rename outruns its data blocks — so
+    the payload no longer matches the header's byte count and checksum.
+    The next ``load`` must reject it and fall back to the next-older
+    snapshot (or a scratch start).  Keyed on (spec, record index) at
+    attempt 1: one schedule can tear some of a run's cuts and spare
+    others, and re-cuts after a resume (attempt > 1) always survive, so
+    a chaos run provably converges.  Returns True when torn.
+    """
+    if plan is None or attempt != 1:
+        return False
+    if not plan.decide("corrupt-checkpoint", f"{spec_hash}:{record_index}", 1):
+        return False
+    try:
+        size = path.stat().st_size
+        with open(path, "r+b") as handle:
+            handle.truncate(max(1, size * 2 // 3))
+            handle.flush()
+            os.fsync(handle.fileno())
+    except OSError:
+        return False
+    return True
 
 
 def maybe_disk_full(

@@ -123,8 +123,15 @@ class RunSpec:
 
     # -- execution ------------------------------------------------------------
 
-    def execute(self) -> RunResult:
-        """Run the simulation this spec describes on a fresh machine."""
+    def execute(self, checkpoint=None) -> RunResult:
+        """Run the simulation this spec describes on a fresh machine.
+
+        ``checkpoint`` is an optional mid-run checkpointer (see
+        :class:`repro.exec.checkpoint.Checkpointer`), forwarded to
+        :func:`run_trace`.  It is deliberately *not* a spec field: a
+        resumed run's result is bit-identical to an uninterrupted one, so
+        checkpointing must never perturb ``content_hash``.
+        """
         total = self.trace_length or self.n_instructions
         trace, image = build_workload(self.benchmark, total)
         if self.selection is None:
@@ -147,4 +154,5 @@ class RunSpec:
             mechanism_name=self.mechanism,
             warmup_fraction=self.warmup_fraction,
             fast=self.fast,
+            checkpoint=checkpoint,
         )

@@ -250,6 +250,12 @@ class ResultStore:
         state — submission queue, lease book, default socket."""
         return self.root / "serve"
 
+    @property
+    def ckpt_root(self) -> Path:
+        """Where mid-run checkpoints live, one subdir per spec hash
+        (see :mod:`repro.exec.checkpoint`; audited by ``fsck``)."""
+        return self.root / "ckpt"
+
     def get(self, spec: RunSpec) -> Optional[RunResult]:
         """The stored result for ``spec``, or None on any defect.
 

@@ -51,6 +51,9 @@ class Telemetry:
     shed: int = 0               # overloaded refusals absorbed before admission
     quarantined: int = 0        # holes resolved by a poison-quarantine record
     expired: int = 0            # holes resolved by a deadline-expiry record
+    # -- mid-run checkpointing (see repro.exec.checkpoint) --------------------
+    checkpoints: int = 0        # mid-run snapshots cut to disk
+    resumed_from_ckpt: int = 0  # attempts that resumed from a snapshot
 
     # -- recording ------------------------------------------------------------
 

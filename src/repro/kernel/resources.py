@@ -12,7 +12,9 @@ produce, at a tiny fraction of the cost.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Any, Dict, Tuple
+
+from repro.kernel.state import restore_fields, snapshot_fields
 
 
 class MultiPortResource:
@@ -39,6 +41,9 @@ class MultiPortResource:
     """
 
     __slots__ = ("n_ports", "_ledger", "grants", "_floor")
+
+    SNAPSHOT_FIELDS = ("_ledger", "grants", "_floor")
+    SNAPSHOT_EXEMPT = ("n_ports",)
 
     #: Ledger entries older than this many grants trigger a prune sweep.
     _PRUNE_EVERY = 8192
@@ -101,6 +106,14 @@ class MultiPortResource:
         """True if an acquire at ``time`` would be granted immediately."""
         return self.earliest_grant(time) == time
 
+    def snapshot(self) -> Dict[str, Any]:
+        return snapshot_fields(self)
+
+    def restore(self, state: Dict[str, Any]) -> None:
+        # In place: the fast path binds ``_ledger`` by identity (same
+        # contract as ``_prune``), which ``restore_fields`` honours.
+        restore_fields(self, state)
+
     def reset(self) -> None:
         self._ledger.clear()
         self.grants = 0
@@ -117,6 +130,9 @@ class PipelinedResource:
     """
 
     __slots__ = ("initiation_interval", "_next_start", "accepts", "stall_cycles")
+
+    SNAPSHOT_FIELDS = ("_next_start", "accepts", "stall_cycles")
+    SNAPSHOT_EXEMPT = ("initiation_interval",)
 
     def __init__(self, initiation_interval: int = 1) -> None:
         if initiation_interval < 1:
@@ -145,6 +161,12 @@ class PipelinedResource:
     def next_free(self) -> int:
         return self._next_start
 
+    def snapshot(self) -> Dict[str, Any]:
+        return snapshot_fields(self)
+
+    def restore(self, state: Dict[str, Any]) -> None:
+        restore_fields(self, state)
+
     def reset(self) -> None:
         self._next_start = 0
         self.accepts = 0
@@ -162,6 +184,9 @@ class Bus:
     """
 
     __slots__ = ("transfer_cycles", "_next_free", "busy_cycles", "transfers")
+
+    SNAPSHOT_FIELDS = ("_next_free", "busy_cycles", "transfers")
+    SNAPSHOT_EXEMPT = ("transfer_cycles",)
 
     def __init__(self, transfer_cycles: int) -> None:
         if transfer_cycles < 1:
@@ -187,6 +212,12 @@ class Bus:
     @property
     def next_free(self) -> int:
         return self._next_free
+
+    def snapshot(self) -> Dict[str, Any]:
+        return snapshot_fields(self)
+
+    def restore(self, state: Dict[str, Any]) -> None:
+        restore_fields(self, state)
 
     def reset(self) -> None:
         self._next_free = 0

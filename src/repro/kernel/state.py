@@ -1,0 +1,83 @@
+"""Generic snapshot/restore helpers for the checkpoint protocol.
+
+Every stateful simulation class declares two class attributes:
+
+* ``SNAPSHOT_FIELDS`` — the instance attributes that constitute its
+  mutable run state.  :func:`snapshot_fields` deep-copies exactly these;
+  :func:`restore_fields` writes them back.
+* ``SNAPSHOT_EXEMPT`` — attributes assigned in ``__init__`` that are
+  deliberately *not* checkpointed: immutable configuration, wiring to
+  other components (which snapshot themselves), and transient flags that
+  are provably quiescent between trace records.
+
+The split is enforced by the SIM9xx snapshot-completeness lint
+(:mod:`repro.analysis.snapshot`): every ``self.x = ...`` in a declaring
+class's ``__init__`` must land in one of the two tuples, so adding a new
+piece of state without deciding its checkpoint story is a CI failure,
+not a silently-unserialized heisenbug.
+
+Restores are **in place** wherever the container type allows it: lists
+are spliced (``cur[:] = new``), dicts/sets cleared and refilled, deques
+cleared and extended.  That automatically honours every identity
+contract in the simulator — the flat tag arrays, the port ledger, the
+kernel's times heap and the speculation counter block are all bound by
+reference into generated fast-path code, and a restore must mutate the
+object those bindings close over, never replace it.
+
+One :func:`copy.deepcopy` call covers a whole object's field dict, so
+identity sharing *within* an object (e.g. the stream-buffer's pending
+map aliasing entries of its stream list) survives the round trip via
+the deepcopy memo.
+"""
+
+from __future__ import annotations
+
+import copy
+from collections import deque
+from typing import Any, Dict, Optional, Tuple
+
+
+def snapshot_fields(obj: Any, names: Optional[Tuple[str, ...]] = None) -> Dict[str, Any]:
+    """Deep-copy ``obj``'s declared snapshot fields into a plain dict.
+
+    ``names`` defaults to ``type(obj).SNAPSHOT_FIELDS``.  The whole field
+    dict goes through one ``deepcopy`` call so aliasing between fields is
+    preserved in the copy.
+    """
+    if names is None:
+        names = type(obj).SNAPSHOT_FIELDS
+    return copy.deepcopy({name: getattr(obj, name) for name in names})
+
+
+def restore_fields(obj: Any, state: Dict[str, Any]) -> None:
+    """Write a :func:`snapshot_fields` dict back onto ``obj``, in place.
+
+    The incoming state is deep-copied first (a checkpoint may be restored
+    more than once — e.g. a retry loop — and the live simulator must never
+    mutate the caller's saved copy), then each field is restored into the
+    *existing* container where one exists, preserving object identity for
+    anything bound by reference elsewhere.
+    """
+    state = copy.deepcopy(state)
+    for name, value in state.items():
+        current = getattr(obj, name, None)
+        if isinstance(current, list):
+            current[:] = value
+        elif isinstance(current, deque):
+            current.clear()
+            current.extend(value)
+        elif isinstance(current, dict):
+            # Covers OrderedDict and Counter too (both dict subclasses);
+            # clear-then-update on a zeroed Counter reproduces the saved
+            # counts exactly, and update order restores OrderedDict order.
+            current.clear()
+            current.update(value)
+        elif isinstance(current, set) and isinstance(value, set):
+            # Mutable sets restore in place.  frozenset is not a set
+            # subclass, so immutable snapshots (e.g. FVC's frequent-value
+            # set) fall through to plain assignment — correct, since
+            # nothing binds a frozenset by identity.
+            current.clear()
+            current.update(value)
+        else:
+            setattr(obj, name, value)

@@ -30,9 +30,26 @@ def _cmd_record(args: argparse.Namespace) -> int:
 
     spec = RunSpec(args.benchmark, args.mechanism, n_instructions=args.n,
                    fast=args.fast)
+    ckpt = None
+    if args.checkpoint_every:
+        # Measure the *enabled* checkpoint path: cut real snapshots
+        # into a throwaway tree so the ledger records what the knob
+        # actually costs.  At 0 (the default) the run is the ordinary
+        # checkpoint-free measurement.
+        import tempfile
+        from pathlib import Path
+
+        from repro.exec.checkpoint import Checkpointer
+
+        root = Path(tempfile.mkdtemp(prefix="repro-obs-ckpt-"))
+        ckpt = Checkpointer(root, spec.content_hash, args.checkpoint_every)
     start = time.perf_counter()
-    result = spec.execute()
+    result = spec.execute(checkpoint=ckpt)
     seconds = time.perf_counter() - start
+    if ckpt is not None:
+        import shutil
+
+        shutil.rmtree(root, ignore_errors=True)
     label = args.label or f"{args.benchmark}/{args.mechanism}"
     record = make_record(
         label=label,
@@ -153,6 +170,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     p_record.add_argument("--no-fast", dest="fast", action="store_false",
                           help="run on the slow path (before/after "
                                "perf comparisons)")
+    p_record.add_argument("--checkpoint-every", type=int, default=0,
+                          metavar="N",
+                          help="cut a crash-safe snapshot every N records "
+                               "into a throwaway tree, so the ledger "
+                               "measures the enabled checkpoint path "
+                               "(default 0: off — the free path)")
     p_record.set_defaults(fn=_cmd_record)
 
     p_list = sub.add_parser("list", help="print every ledger entry")

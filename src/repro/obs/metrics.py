@@ -223,6 +223,9 @@ EXECUTOR_SERIES = (
     # fleet hardening: submissions shed by admission control, poison
     # specs resolved by quarantine, deadline-expired holes
     "executor.shed", "executor.quarantined", "executor.expired",
+    # mid-run checkpointing (see repro.exec.checkpoint): snapshots cut,
+    # attempts resumed from one
+    "executor.checkpoints", "executor.resumed_from_ckpt",
 )
 
 
@@ -255,6 +258,9 @@ def harvest_executor(telemetry: Any,
         "executor.shed": getattr(telemetry, "shed", 0),
         "executor.quarantined": getattr(telemetry, "quarantined", 0),
         "executor.expired": getattr(telemetry, "expired", 0),
+        "executor.checkpoints": getattr(telemetry, "checkpoints", 0),
+        "executor.resumed_from_ckpt": getattr(telemetry,
+                                              "resumed_from_ckpt", 0),
     }
     for name in EXECUTOR_SERIES:
         unit = "seconds" if name.endswith("seconds") else "count"
@@ -301,6 +307,8 @@ def executor_summary_line(telemetry: Any,
         ("executor.shed", "shed"),
         ("executor.quarantined", "quarantined"),
         ("executor.expired", "expired"),
+        ("executor.checkpoints", "checkpoints"),
+        ("executor.resumed_from_ckpt", "resumed-from-ckpt"),
         ("executor.retries", "retries"),
         ("executor.timeouts", "timeouts"),
         ("executor.pool_rebuilds", "pool rebuilds"),

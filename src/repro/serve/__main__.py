@@ -79,7 +79,8 @@ def _cmd_server(args: argparse.Namespace) -> int:
 def _cmd_worker(args: argparse.Namespace) -> int:
     store, fleet = _store_and_fleet(args)
     worker_id = args.worker_id or f"worker-{os.getpid()}"
-    worker = Worker(fleet, store, worker_id)
+    worker = Worker(fleet, store, worker_id,
+                    checkpoint_every=args.checkpoint_every)
     try:
         status = worker.run(drain=args.drain, idle_timeout=args.idle_timeout)
     except KeyboardInterrupt:
@@ -107,6 +108,8 @@ def _spawn_worker(args: argparse.Namespace, index: int,
         cmd.append("--drain")
     if args.idle_timeout is not None:
         cmd.extend(["--idle-timeout", str(args.idle_timeout)])
+    if args.checkpoint_every:
+        cmd.extend(["--checkpoint-every", str(args.checkpoint_every)])
     return subprocess.Popen(cmd)
 
 
@@ -272,6 +275,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                         metavar="SEC",
                         help="deterministic base retry hint quoted in "
                              "overloaded answers (server; default 0.05)")
+    parser.add_argument("--checkpoint-every", type=int, default=0, metavar="N",
+                        help="cut a crash-safe mid-run snapshot every N "
+                             "committed instructions (worker/fleet; default "
+                             "0 = off); a reclaimed lease resumes from the "
+                             "newest snapshot instead of instruction zero, "
+                             "bit-identical either way")
     parser.add_argument("--max-leases", type=int, default=None, metavar="N",
                         help="leases a spec may burn before quarantine "
                              "(worker/fleet; default: RetryPolicy-derived)")

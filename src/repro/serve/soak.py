@@ -10,8 +10,11 @@ deterministic in ``--seed``:
    after, and its store hashes are where the poison spec is chosen
    (``sorted(hashes)[seed % len]`` — pure arithmetic, no RNG).
 2. **Chaos, no poison** — server + respawning fleet under
-   ``kill-worker`` + ``corrupt-store`` + ``disk-full`` chaos, clients
-   under ``corrupt-journal`` (serve-mode clients journal nothing, which
+   ``kill-worker`` + ``corrupt-store`` + ``disk-full`` +
+   ``kill-midrun`` + ``corrupt-checkpoint`` chaos (the fleet runs with
+   ``--checkpoint-every``, so workers die mid-simulation and reclaims
+   resume from snapshots — some deliberately torn), clients under
+   ``corrupt-journal`` (serve-mode clients journal nothing, which
    is the point: an armed fault with no surface must stay inert), all
    seeded.  Every client's stdout must be **byte-identical to the
    serial baseline** — torn writes, killed workers and full disks are
@@ -64,8 +67,19 @@ SOAK_TTL = 1.0
 
 #: Fault rates for the composed plan.  High enough that every kind
 #: demonstrably fires on a fig10-sized sweep, low enough that most
-#: specs still take the clean path.
-CHAOS_RATES = "kill-worker:0.4,corrupt-store:0.4,disk-full:0.4"
+#: specs still take the clean path.  ``kill-midrun`` and
+#: ``corrupt-checkpoint`` only have a surface because the soak fleets
+#: run with ``--checkpoint-every``: workers die mid-simulation right
+#: after a snapshot lands (and some snapshots are torn), and the
+#: reclaimant must resume bit-identically anyway.
+CHAOS_RATES = ("kill-worker:0.4,corrupt-store:0.4,disk-full:0.4,"
+               "kill-midrun:0.4,corrupt-checkpoint:0.4")
+
+#: Mid-run snapshot cadence for soak fleets, committed instructions.
+#: Small enough that a default ``--n 2000`` run cuts several snapshots
+#: (so kill-midrun has somewhere to fire and resume has something to
+#: load), large enough to stay a sliver of each run's wall time.
+SOAK_CHECKPOINT_EVERY = 500
 
 
 class SoakError(AssertionError):
@@ -146,6 +160,7 @@ def _run_leg(
     n_clients: int,
     max_queue: Optional[int] = None,
     retry_after: Optional[float] = None,
+    checkpoint_every: int = 0,
 ) -> LegResult:
     """One service leg: server + drain fleet + concurrent clients."""
     cache.mkdir(parents=True, exist_ok=True)
@@ -165,6 +180,8 @@ def _run_leg(
         "--cache-dir", str(cache), "--workers", str(args.workers),
         "--ttl", str(SOAK_TTL), "--drain", "--idle-timeout", "30",
     ]
+    if checkpoint_every:
+        fleet_cmd.extend(["--checkpoint-every", str(checkpoint_every)])
     fleet_env = dict(env)
     if fleet_faults:
         fleet_env["REPRO_FAULTS"] = fleet_faults
@@ -281,7 +298,8 @@ def _soak(args: argparse.Namespace, root: Path) -> None:
     # Leg 2: composed chaos, no poison — byte-identity must hold.
     _say(f"leg 2/4: composed chaos ({chaos}) — expecting byte-identity "
          "to the baseline")
-    leg2 = _run_leg(args, root / "chaos", chaos, client_chaos, args.clients)
+    leg2 = _run_leg(args, root / "chaos", chaos, client_chaos, args.clients,
+                    checkpoint_every=SOAK_CHECKPOINT_EVERY)
     _check_clients("leg 2", leg2.clients, oracle)
     _fsck(root / "chaos")
 
@@ -290,7 +308,7 @@ def _soak(args: argparse.Namespace, root: Path) -> None:
          "quarantine, agreement, bounded respawns")
     leg3 = _run_leg(args, root / "poison",
                     f"{chaos},poison:{poison_prefix}", client_chaos,
-                    args.clients)
+                    args.clients, checkpoint_every=SOAK_CHECKPOINT_EVERY)
     _check_clients("leg 3", leg3.clients, None)
     stdout = leg3.clients[0][1]
     if stdout == oracle:
@@ -315,9 +333,11 @@ def _soak(args: argparse.Namespace, root: Path) -> None:
             raise SoakError(
                 f"leg 3: quarantined {spec_hash[:12]}… did not resolve "
                 "as kind='poison'")
-    # Every spec can die at most once to one-shot kill-worker chaos,
-    # plus max_leases deaths per poison spec; anything past that is a
-    # crash loop the quarantine bound failed to stop.
+    # Every spec can die at most once to the one-shot lease-1 chaos
+    # (kill-worker at claim, or kill-midrun mid-simulation — one lease,
+    # so at most one of the two), plus max_leases deaths per poison
+    # spec; anything past that is a crash loop the quarantine bound
+    # failed to stop.
     bound = len(hashes) + 2 * len(snap.quarantined) + 2
     if leg3.respawns > bound:
         raise SoakError(

@@ -17,7 +17,12 @@ Chaos: under a ``kill-worker`` plan the worker consults the schedule
 first (``count == 1``), then dies with ``os._exit`` exactly as an OOM
 kill would take it — no cleanup, the lease left live.  Convergence is
 then the fleet's job: the lease expires, the next claimant reclaims
-with count 2, and count-2 leases never consult the schedule.
+with count 2, and count-2 leases never consult the schedule.  With
+``checkpoint_every`` armed, ``kill-midrun`` is the same shape cut
+deeper: the worker dies *mid-simulation* right after a snapshot lands,
+and the count-2 reclaimant resumes from that snapshot instead of
+instruction zero (:mod:`repro.exec.checkpoint`) — bit-identical either
+way.
 
 Drain mode (``drain=True``) is how CI and tests run fleets to
 completion: the worker exits 0 once work has been seen and the queue is
@@ -34,6 +39,7 @@ import threading
 import time
 from typing import Optional
 
+from repro.exec.checkpoint import Checkpointer
 from repro.exec.faults import (
     KILL_WORKER_EXIT,
     FaultPlan,
@@ -107,12 +113,14 @@ class Worker:
         worker_id: str,
         plan: Optional[FaultPlan] = None,
         poll: float = POLL_SECONDS,
+        checkpoint_every: int = 0,
     ) -> None:
         self.fleet = fleet
         self.store = store
         self.worker_id = worker_id
         self.plan = plan if plan is not None else active_plan()
         self.poll = poll
+        self.checkpoint_every = max(0, int(checkpoint_every))
         self.completed = 0
         self.failed = 0
 
@@ -143,12 +151,16 @@ class Worker:
             self._resolve_failure(claim, repr(exc))
             return True
         start = time.perf_counter()
+        ckpt = self._checkpointer(claim)
         # The heartbeat spans the simulation *and* the store/resolve
         # writes after it, so the lease cannot lapse between finishing
         # a long run and making its resolution durable.
         with _LeaseRenewer(self.fleet, claim, self.worker_id):
             try:
-                result = spec.execute()
+                # Only pass the kwarg when armed: spec doubles (and any
+                # older execute() signature) stay callable as-is.
+                result = (spec.execute(checkpoint=ckpt) if ckpt is not None
+                          else spec.execute())
             # simlint: allow[SIM601] converted to a FailedRun the fleet propagates to every subscriber
             except Exception as exc:
                 self._resolve_failure(claim, repr(exc),
@@ -187,6 +199,10 @@ class Worker:
                 )
                 self.fleet.release(claim.spec_hash, self.worker_id)
                 return True
+        if ckpt is not None:
+            # The result is durable and promised; its snapshots served
+            # their purpose (checkpoints are a cache, never an artifact).
+            ckpt.discard()
         self.completed += 1
         return True
 
@@ -229,6 +245,25 @@ class Worker:
             time.sleep(self.poll)
 
     # -- internals ------------------------------------------------------------
+
+    def _checkpointer(self, claim: Claim) -> Optional[Checkpointer]:
+        """Mid-run durability for one claim, when the fleet runs with it.
+
+        ``attempt`` is the lease count, so the one-shot mid-run chaos
+        schedules (``kill-midrun``, ``corrupt-checkpoint``) fire only on
+        a spec's first lease — the same convergence shape as
+        ``kill-worker``.  Unlike the executor's in-process variant, a
+        fleet worker dies for real (``os._exit``): the lease lapses, the
+        reclaimant's lease count is 2, and its :meth:`Checkpointer.load`
+        resumes from the snapshot the dead worker cut.
+        """
+        if not self.checkpoint_every:
+            return None
+        return Checkpointer(
+            self.store.ckpt_root, claim.spec_hash, self.checkpoint_every,
+            attempt=claim.lease_count, plan=self.plan,
+            kill_exit=KILL_WORKER_EXIT,
+        )
 
     def _maybe_die(self, claim: Claim) -> None:
         """Chaos mode: die like an OOM-killed worker, lease left live.

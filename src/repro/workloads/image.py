@@ -17,13 +17,22 @@ region and word-aligned.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Any, Dict, Tuple
+
+from repro.kernel.state import restore_fields, snapshot_fields
 
 WORD_BYTES = 8
 
 
 class MemoryImage:
     """Sparse functional memory with pointer-region tracking."""
+
+    #: ``_pending`` is custom-handled: the base image can be tens of
+    #: thousands of words and is reproducible from the workload store, so
+    #: the snapshot records only whether it was materialised plus the
+    #: overlay ``_words`` (writes made since load).
+    SNAPSHOT_FIELDS = ("_words", "heap_lo", "heap_hi", "reads", "writes")
+    SNAPSHOT_EXEMPT = ("_pending",)
 
     def __init__(self) -> None:
         self._words: Dict[int, int] = {}
@@ -110,6 +119,27 @@ class MemoryImage:
                 value = self._uninitialised(word_addr)
             out.append(value)
         return tuple(out)
+
+    # -- checkpointing ------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        state = snapshot_fields(self)
+        state["materialized"] = self._pending is None
+        return state
+
+    def restore(self, state: Dict[str, Any]) -> None:
+        """Restore into an image freshly rebuilt from the workload store.
+
+        The base image is deterministic per spec, so the restored machine
+        already carries an identical ``_pending``; the snapshot only has
+        to replay the overlay and, when the checkpointed run had already
+        thawed the base into ``_words``, drop the fresh ``_pending`` so a
+        later read does not double-apply it.
+        """
+        state = dict(state)
+        if state.pop("materialized"):
+            self._pending = None
+        restore_fields(self, state)
 
     def __len__(self) -> int:
         if self._pending is not None:

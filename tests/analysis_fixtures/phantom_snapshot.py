@@ -1,0 +1,15 @@
+"""Known-bad fixture: SIM902 phantom-snapshot-field.
+
+``_ghost`` is declared in ``SNAPSHOT_FIELDS`` but assigned nowhere in
+the class — either a typo hiding the real attribute from the
+checkpoint, or dead weight that makes the first snapshot cut raise.
+"""
+
+
+class PhantomField:
+    SNAPSHOT_FIELDS = ("_ring", "_ghost")
+    SNAPSHOT_EXEMPT = ("depth",)
+
+    def __init__(self, depth):
+        self.depth = depth
+        self._ring = []

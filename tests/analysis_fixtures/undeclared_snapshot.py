@@ -1,0 +1,16 @@
+"""Known-bad fixture: SIM901 undeclared-snapshot-state.
+
+``_cursor`` is mutable run state assigned in ``__init__`` but declared
+in neither ``SNAPSHOT_FIELDS`` nor ``SNAPSHOT_EXEMPT`` — it would
+silently escape every mid-run checkpoint.
+"""
+
+
+class LeakyTable:
+    SNAPSHOT_FIELDS = ("_table",)
+    SNAPSHOT_EXEMPT = ("size",)
+
+    def __init__(self, size):
+        self.size = size
+        self._table = {}
+        self._cursor = 0

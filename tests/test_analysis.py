@@ -54,6 +54,8 @@ FIXTURE_RULES = {
     "unguarded_state.py": "SIM801",
     "replay_out_of_order.py": "SIM802",
     "stale_constant.py": "SIM803",
+    "undeclared_snapshot.py": "SIM901",
+    "phantom_snapshot.py": "SIM902",
 }
 
 
